@@ -1,0 +1,53 @@
+# Convenience targets for the pnm repository.
+
+GO ?= go
+
+.PHONY: all build test race vet bench figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper figure/table into results/.
+figures:
+	mkdir -p results
+	$(GO) run ./cmd/pnmsim -exp fig4 > results/fig4.csv
+	$(GO) run ./cmd/pnmsim -exp fig5 > results/fig5.csv
+	$(GO) run ./cmd/pnmsim -exp fig6 > results/fig6.csv
+	$(GO) run ./cmd/pnmsim -exp fig7 > results/fig7.csv
+	$(GO) run ./cmd/pnmsim -exp matrix > results/matrix.txt
+	$(GO) run ./cmd/pnmsim -exp headline > results/headline.txt
+	$(GO) run ./cmd/pnmsim -exp ablate > results/ablate.txt
+	$(GO) run ./cmd/pnmsim -exp resolve > results/resolve.txt
+	$(GO) run ./cmd/pnmsim -exp filter > results/filter.txt
+	$(GO) run ./cmd/pnmsim -exp related > results/related.txt
+	$(GO) run ./cmd/pnmsim -exp precision > results/precision.txt
+	$(GO) run ./cmd/pnmsim -exp overhead > results/overhead.txt
+	$(GO) run ./cmd/pnmsim -exp multisource > results/multisource.txt
+	$(GO) run ./cmd/pnmsim -exp background > results/background.txt
+	$(GO) run ./cmd/pnmsim -exp dynamics > results/dynamics.txt
+	$(GO) run ./cmd/pnmsim -exp molepos > results/molepos.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/colluding
+	$(GO) run ./examples/replaydefense
+	$(GO) run ./examples/isolation
+	$(GO) run ./examples/filtercompare
+	$(GO) run ./examples/largenet
+
+clean:
+	rm -rf results

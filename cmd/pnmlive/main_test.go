@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunLiveWithQuarantine(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-nodes", "80", "-side", "5", "-range", "1.4",
+		"-packets", "100", "-seed", "3", "-quarantine",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "final verdict") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "the mole is inside the suspected neighborhood") {
+		t.Fatalf("mole not localized:\n%s", out)
+	}
+	if !strings.Contains(out, "quarantined") {
+		t.Fatalf("quarantine never triggered:\n%s", out)
+	}
+}
+
+func TestRunLiveErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", "10", "-side", "100", "-range", "1"}, &buf); err == nil {
+		t.Fatal("want error for disconnected topology")
+	}
+	if err := run([]string{"-bogusflag"}, &buf); err == nil {
+		t.Fatal("want flag error")
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFig4CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "packets,n=10,n=20,n=30\n") {
+		t.Fatalf("output:\n%s", out[:80])
+	}
+}
+
+func TestRunFig4Plot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig4", "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("plot output missing")
+	}
+}
+
+func TestRunFig5SmallOverride(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-runs", "5", "-seed", "9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n=10") {
+		t.Fatalf("output:\n%s", buf.String()[:80])
+	}
+}
+
+func TestRunMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "matrix"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pnm", "nested", "MISLED"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("matrix missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	// The cheap tabular experiments all render through the same path;
+	// exercise each dispatch arm with minimal settings.
+	tests := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-exp", "filter"}, "E[hops]"},
+		{[]string{"-exp", "overhead"}, "bytes/pkt"},
+		{[]string{"-exp", "related"}, "per-node memory"},
+	}
+	for _, tt := range tests {
+		var buf bytes.Buffer
+		if err := run(tt.args, &buf); err != nil {
+			t.Fatalf("%v: %v", tt.args, err)
+		}
+		if !strings.Contains(buf.String(), tt.want) {
+			t.Fatalf("%v output missing %q:\n%s", tt.args, tt.want, buf.String())
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "bogus"}, &buf); err == nil {
+		t.Fatal("want error")
+	}
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Fatal("want flag error")
+	}
+}

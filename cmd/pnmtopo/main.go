@@ -1,0 +1,93 @@
+// Command pnmtopo generates and inspects the sensor topologies the
+// experiments run on.
+//
+// Usage:
+//
+//	pnmtopo -kind geo -nodes 1000 -side 16 -range 1 -seed 1
+//	pnmtopo -kind grid -width 20 -height 20
+//	pnmtopo -kind chain -nodes 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pnm/internal/stats"
+	"pnm/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pnmtopo:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the requested topology and prints its statistics.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pnmtopo", flag.ContinueOnError)
+	var (
+		kind       = fs.String("kind", "geo", "topology kind: chain, grid, geo")
+		nodes      = fs.Int("nodes", 100, "node count (chain, geo)")
+		width      = fs.Int("width", 10, "grid width")
+		height     = fs.Int("height", 10, "grid height")
+		side       = fs.Float64("side", 8, "deployment square side (geo)")
+		radioRange = fs.Float64("range", 1.2, "radio range (grid, geo)")
+		seed       = fs.Int64("seed", 1, "placement seed (geo)")
+		corner     = fs.Bool("corner", false, "place the sink at a corner (geo)")
+		dot        = fs.Bool("dot", false, "emit Graphviz DOT (pipe into `neato -n -Tpng`) instead of statistics")
+		radioEdges = fs.Bool("radio", false, "with -dot, also draw non-tree radio links")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		topo *topology.Network
+		err  error
+	)
+	switch *kind {
+	case "chain":
+		topo, err = topology.NewChain(*nodes)
+	case "grid":
+		topo, err = topology.NewGrid(topology.GridConfig{
+			Width: *width, Height: *height, Spacing: 1, RadioRange: *radioRange,
+		})
+	case "geo":
+		topo, err = topology.NewRandomGeometric(topology.GeometricConfig{
+			Nodes: *nodes, Side: *side, RadioRange: *radioRange,
+			Seed: *seed, SinkAtCorner: *corner,
+		})
+	default:
+		return fmt.Errorf("unknown topology kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *dot {
+		fmt.Fprint(w, topo.DOT(topology.DOTConfig{RadioEdges: *radioEdges}))
+		return nil
+	}
+
+	depths := make([]float64, 0, topo.NumNodes())
+	for _, id := range topo.Nodes() {
+		depths = append(depths, float64(topo.Depth(id)))
+	}
+	sum := stats.Summarize(depths)
+	deep := topo.DeepestNode()
+
+	var tb stats.Table
+	tb.AddRow("property", "value")
+	tb.AddRow("nodes", fmt.Sprintf("%d", topo.NumNodes()))
+	tb.AddRow("avg degree", fmt.Sprintf("%.2f", topo.AvgDegree()))
+	tb.AddRow("max depth", fmt.Sprintf("%d", topo.MaxDepth()))
+	tb.AddRow("mean depth", fmt.Sprintf("%.2f", sum.Mean))
+	tb.AddRow("median depth", fmt.Sprintf("%.0f", sum.P50))
+	tb.AddRow("deepest node", deep.String())
+	tb.AddRow("deepest path", fmt.Sprintf("%v", topo.PathToSink(deep)))
+	fmt.Fprint(w, tb.String())
+	return nil
+}

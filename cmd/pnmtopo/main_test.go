@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunChain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "chain", "-nodes", "12"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "max depth") || !strings.Contains(out, "12") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunGrid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "grid", "-width", "5", "-height", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deepest path") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunGeo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "geo", "-nodes", "60", "-side", "5", "-range", "1.5", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "avg degree") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "bogus"}, &buf); err == nil {
+		t.Fatal("want error for unknown kind")
+	}
+	if err := run([]string{"-kind", "geo", "-nodes", "10", "-side", "100", "-range", "0.5"}, &buf); err == nil {
+		t.Fatal("want error for disconnected placement")
+	}
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+}

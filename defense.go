@@ -1,0 +1,30 @@
+package pnm
+
+import (
+	"pnm/internal/mole"
+	"pnm/internal/replay"
+)
+
+// Replay defenses (§7): duplicate suppression en route and one-time
+// sequence windows at the sink, plus the replaying mole they defeat.
+type (
+	// DuplicateSuppressor is a forwarding node's bounded cache of recently
+	// seen reports.
+	DuplicateSuppressor = replay.Suppressor
+	// SequenceWindow accepts each (source, sequence) pair at most once.
+	SequenceWindow = replay.SeqWindow
+	// ReplayerMole records overheard messages and re-injects them.
+	ReplayerMole = mole.Replayer
+)
+
+// NewDuplicateSuppressor returns a cache remembering the last capacity
+// reports.
+func NewDuplicateSuppressor(capacity int) *DuplicateSuppressor {
+	return replay.NewSuppressor(capacity)
+}
+
+// NewSequenceWindow returns a sink-side one-time sequence checker with the
+// given window size.
+func NewSequenceWindow(window uint32) *SequenceWindow {
+	return replay.NewSeqWindow(window)
+}

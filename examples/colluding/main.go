@@ -1,0 +1,69 @@
+// Colluding attack demo: a forwarding mole selectively drops packets to
+// shield its source-mole partner. Plaintext probabilistic nested marking
+// (the paper's "incorrect extension") is misled to an innocent node; PNM's
+// anonymous IDs make the drop predicate blind and the moles get caught.
+//
+// This is the paper's Figure 1 scenario with the §4.2 selective-dropping
+// attack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pnm "pnm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		pathLen = 10
+		packets = 400
+		seed    = 7
+	)
+	p := pnm.MarkingProbability(pathLen, 3)
+
+	fmt.Println("=== selective dropping: naive plaintext marking vs PNM ===")
+	fmt.Printf("chain of %d forwarders, colluding mole mid-path, %d packets\n\n", pathLen, packets)
+
+	for _, tc := range []struct {
+		label  string
+		scheme pnm.Scheme
+	}{
+		{"naive (plaintext IDs)", pnm.NaiveScheme(p)},
+		{"PNM (anonymous IDs)", pnm.PNMScheme(p)},
+	} {
+		r, err := pnm.NewChainScenario(pnm.ChainScenario{
+			Forwarders: pathLen,
+			Scheme:     tc.scheme,
+			Attack:     pnm.AttackDrop,
+			Seed:       seed,
+		})
+		if err != nil {
+			return err
+		}
+		delivered := r.Run(packets)
+		v := r.Tracker().Verdict()
+
+		fmt.Printf("--- %s ---\n", tc.label)
+		fmt.Printf("moles: source %v, forwarder %v\n", r.SourceID(), r.MoleID())
+		fmt.Printf("delivered %d/%d packets (the mole dropped the rest)\n", delivered, packets)
+		fmt.Printf("verdict: stop %v, suspects %v\n", v.Stop, v.Suspects)
+		if r.SecurityHolds() {
+			fmt.Println("result: CAUGHT — a mole is inside the suspected neighborhood")
+		} else {
+			fmt.Println("result: MISLED — the sink suspects innocent nodes; the moles stay hidden")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("why: under plaintext IDs the mole reads who marked each packet and")
+	fmt.Println("drops exactly those that would expose its upstream partner. Anonymous")
+	fmt.Println("per-message IDs give it nothing to match on.")
+	return nil
+}

@@ -1,0 +1,64 @@
+// Filtering-vs-traceback demo: statistical en-route filtering (the passive
+// defense of SEF) limits how far bogus reports travel but never stops the
+// mole from injecting. PNM locates the mole and, with isolation, ends the
+// attack. The demo also shows their interaction: aggressive filtering
+// starves the sink of the very packets traceback learns from.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	pnm "pnm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		pathLen      = 20
+		payloadBytes = 36
+		injectPPS    = 10.0 // mole's injection rate
+		catchPackets = 55.0 // sink packets PNM needs at 20 hops (E4)
+	)
+	model := pnm.Mica2Energy()
+
+	fmt.Println("=== en-route filtering alone vs filtering + PNM ===")
+	fmt.Printf("path %d hops, mole injecting %.0f reports/s, %dB reports\n\n", pathLen, injectPPS, payloadBytes)
+	fmt.Printf("%-6s %-8s %-10s %-16s %-14s %-20s %s\n",
+		"q", "E[hops]", "delivery", "injected->catch", "time->catch", "energy until caught", "filter-only (1h)")
+
+	for _, q := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+		expHops := pnm.ExpectedFilterTravel(pathLen, q)
+		delivery := pnm.FilterDeliveryProb(pathLen, q)
+		perPacketJ := model.AttackEnergy(1, payloadBytes, int(expHops+0.5))
+		filterOnlyJ := 3600 * injectPPS * perPacketJ
+
+		if delivery <= 0 {
+			fmt.Printf("%-6.2f %-8.1f %-10.4f %-16s %-14s %-20s %.1fJ\n",
+				q, expHops, delivery, "-", "never", "unbounded", filterOnlyJ)
+			continue
+		}
+		injected := catchPackets / delivery
+		tCatch := time.Duration(injected / injectPPS * float64(time.Second))
+		fmt.Printf("%-6.2f %-8.1f %-10.4f %-16.0f %-14s %-20s %.1fJ\n",
+			q, expHops, delivery, injected, tCatch.Round(time.Second),
+			fmt.Sprintf("%.2fJ", injected*perPacketJ), filterOnlyJ)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println(" - filtering alone (right column) keeps paying energy for as long as")
+	fmt.Println("   the attack lasts; the mole is never found.")
+	fmt.Println(" - with PNM the attack ends after 'time->catch'; the energy bill is")
+	fmt.Println("   bounded (second-to-last column).")
+	fmt.Println(" - but the stronger the filter, the fewer marked packets reach the")
+	fmt.Println("   sink, and the longer traceback takes: the two defenses must be")
+	fmt.Println("   tuned together, which is exactly why the paper calls them")
+	fmt.Println("   complementary.")
+	return nil
+}

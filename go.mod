@@ -1,0 +1,3 @@
+module pnm
+
+go 1.22

@@ -1,0 +1,173 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCollectAllProbPaperCheckpoints(t *testing.T) {
+	// Figure 4 checkpoints (np = 3): ~90% confidence at 13 packets for
+	// n=10, 33 for n=20, 54 for n=30.
+	tests := []struct {
+		n       int
+		packets int
+	}{
+		{10, 13},
+		{20, 33},
+		{30, 54},
+	}
+	for _, tt := range tests {
+		p := ProbabilityForMarks(tt.n, 3)
+		got := CollectAllProb(tt.n, p, tt.packets)
+		if got < 0.88 || got > 0.95 {
+			t.Errorf("n=%d, L=%d: P = %.3f, want ~0.90", tt.n, tt.packets, got)
+		}
+	}
+}
+
+func TestPacketsForConfidenceMatchesProb(t *testing.T) {
+	for _, n := range []int{10, 20, 30, 50} {
+		p := ProbabilityForMarks(n, 3)
+		l := PacketsForConfidence(n, p, 0.9)
+		if got := CollectAllProb(n, p, l); got < 0.9 {
+			t.Errorf("n=%d: P at L=%d is %.3f < 0.9", n, l, got)
+		}
+		if l > 1 {
+			if got := CollectAllProb(n, p, l-1); got >= 0.9 {
+				t.Errorf("n=%d: L=%d not minimal (P(L-1)=%.3f)", n, l, got)
+			}
+		}
+	}
+}
+
+func TestCollectAllProbEdgeCases(t *testing.T) {
+	if got := CollectAllProb(0, 0.5, 10); got != 1 {
+		t.Errorf("n=0: P = %g, want 1", got)
+	}
+	if got := CollectAllProb(10, 0, 10); got != 0 {
+		t.Errorf("p=0: P = %g, want 0", got)
+	}
+	if got := CollectAllProb(10, 1, 1); got != 1 {
+		t.Errorf("p=1, L=1: P = %g, want 1", got)
+	}
+	if got := CollectAllProb(10, 1, 0); got != 0 {
+		t.Errorf("p=1, L=0: P = %g, want 0", got)
+	}
+}
+
+func TestCollectAllProbMonotoneInL(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		p := ProbabilityForMarks(n, 3)
+		prev := 0.0
+		for l := 0; l < 200; l++ {
+			cur := CollectAllProb(n, p, l)
+			if cur+1e-12 < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedPacketsAgainstSimulation(t *testing.T) {
+	// Monte-Carlo check of the coupon-collector expectation.
+	const n = 10
+	p := ProbabilityForMarks(n, 3)
+	want := ExpectedPacketsToCollectAll(n, p)
+
+	rng := rand.New(rand.NewSource(5))
+	const runs = 4000
+	total := 0
+	for r := 0; r < runs; r++ {
+		var seen [n]bool
+		count := 0
+		for packets := 0; count < n; packets++ {
+			for i := 0; i < n; i++ {
+				if !seen[i] && rng.Float64() < p {
+					seen[i] = true
+					count++
+				}
+			}
+			total++
+		}
+	}
+	got := float64(total) / runs
+	if math.Abs(got-want) > want*0.05 {
+		t.Fatalf("simulated E[N] = %.2f, analytic = %.2f", got, want)
+	}
+}
+
+func TestExpectedPacketsEdgeCases(t *testing.T) {
+	if got := ExpectedPacketsToCollectAll(0, 0.5); got != 0 {
+		t.Errorf("n=0: E = %g, want 0", got)
+	}
+	if got := ExpectedPacketsToCollectAll(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("p=0: E = %g, want +Inf", got)
+	}
+}
+
+func TestProbabilityForMarks(t *testing.T) {
+	if got := ProbabilityForMarks(10, 3); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("got %g, want 0.3", got)
+	}
+	if got := ProbabilityForMarks(2, 3); got != 1 {
+		t.Errorf("capped p = %g, want 1", got)
+	}
+	if got := ProbabilityForMarks(0, 3); got != 0 {
+		t.Errorf("n=0 p = %g, want 0", got)
+	}
+	if got := MarksPerPacket(10, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("MarksPerPacket = %g, want 3", got)
+	}
+}
+
+func TestIdentifyProbEdges(t *testing.T) {
+	if got := IdentifyProb(0, 0.3, 10); got != 1 {
+		t.Fatalf("n=0: %g", got)
+	}
+	if got := IdentifyProb(10, 0, 10); got != 0 {
+		t.Fatalf("p=0: %g", got)
+	}
+	// Monotone in L.
+	prev := 0.0
+	for l := 0; l < 400; l++ {
+		cur := IdentifyProb(20, 0.15, l)
+		if cur+1e-12 < prev {
+			t.Fatalf("IdentifyProb decreased at L=%d", l)
+		}
+		prev = cur
+	}
+	if prev < 0.999 {
+		t.Fatalf("IdentifyProb(20, 0.15, 400) = %g, want ~1", prev)
+	}
+}
+
+func TestExpectedPacketsToIdentifyMatchesFig7Scale(t *testing.T) {
+	// The analytic approximation must land near the simulated Figure-7
+	// averages: ~55 packets at n=20 (np=3), growing with n.
+	e20 := ExpectedPacketsToIdentify(20, ProbabilityForMarks(20, 3))
+	if e20 < 40 || e20 > 75 {
+		t.Fatalf("E[T] at n=20 = %.1f, want ~55", e20)
+	}
+	e40 := ExpectedPacketsToIdentify(40, ProbabilityForMarks(40, 3))
+	if e40 <= e20 {
+		t.Fatalf("E[T] not increasing: %g vs %g", e20, e40)
+	}
+	if e40 < 150 || e40 > 330 {
+		t.Fatalf("E[T] at n=40 = %.1f, want ~230", e40)
+	}
+	if got := ExpectedPacketsToIdentify(0, 0.3); got != 0 {
+		t.Fatalf("n=0: %g", got)
+	}
+	if got := ExpectedPacketsToIdentify(5, 0); !math.IsInf(got, 1) {
+		t.Fatalf("p=0: %g", got)
+	}
+}

@@ -1,0 +1,72 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMica2PacketRateMatchesPaper(t *testing.T) {
+	// The paper: 19.2 kbps radio, "around 50 packets per second" for
+	// typical report sizes (a few dozen bytes).
+	m := Mica2()
+	pps := m.PacketsPerSecond(36) // report + ~3 anonymous marks
+	if pps < 40 || pps > 70 {
+		t.Fatalf("packets/s = %.1f, want ~50", pps)
+	}
+}
+
+func TestAirtimeScalesWithSize(t *testing.T) {
+	m := Mica2()
+	small := m.Airtime(20)
+	big := m.Airtime(80)
+	if big <= small {
+		t.Fatal("airtime does not grow with payload")
+	}
+	// 19.2 kbps = 2400 B/s: a 36+12 byte frame is 20 ms.
+	got := m.Airtime(36)
+	want := 20 * time.Millisecond
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("airtime = %v, want ~%v", got, want)
+	}
+}
+
+func TestTracebackLatencyHeadline(t *testing.T) {
+	// Paper: ~10 seconds to locate a mole 40 hops away using 300 packets.
+	m := Mica2()
+	got := m.TracebackLatency(300, 36)
+	if got < 5*time.Second || got > 15*time.Second {
+		t.Fatalf("latency for 300 packets = %v, want ~10s", got)
+	}
+}
+
+func TestPathEnergy(t *testing.T) {
+	m := Mica2()
+	if got := m.PathEnergy(30, 0); got != 0 {
+		t.Fatalf("0 hops = %g J", got)
+	}
+	one := m.PathEnergy(30, 1)
+	two := m.PathEnergy(30, 2)
+	if one <= 0 || two <= one {
+		t.Fatalf("path energy not increasing: %g, %g", one, two)
+	}
+	// One hop is a single transmission, no intermediate reception.
+	wantOne := float64(30+m.FrameOverheadBytes) * m.TxJoulePerByte
+	if math.Abs(one-wantOne) > 1e-12 {
+		t.Fatalf("one-hop energy = %g, want %g", one, wantOne)
+	}
+	// Each extra hop adds one tx and one rx.
+	wantStep := m.HopEnergy(30)
+	if math.Abs((two-one)-wantStep) > 1e-12 {
+		t.Fatalf("per-hop increment = %g, want %g", two-one, wantStep)
+	}
+}
+
+func TestAttackEnergyLinearInPackets(t *testing.T) {
+	m := Mica2()
+	one := m.AttackEnergy(1, 30, 10)
+	hundred := m.AttackEnergy(100, 30, 10)
+	if math.Abs(hundred-100*one) > 1e-9 {
+		t.Fatalf("attack energy not linear: %g vs %g", hundred, 100*one)
+	}
+}

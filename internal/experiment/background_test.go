@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBackgroundTrafficTriage(t *testing.T) {
+	rows, err := BackgroundTraffic(DefaultBackground())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	all, triaged := rows[0], rows[1]
+
+	// Feeding every stream plants one candidate source per legitimate
+	// sender: identification must fail.
+	if all.Identified {
+		t.Error("mixed traffic should not yield unequivocal identification")
+	}
+	if all.Candidates < 2 {
+		t.Errorf("all-traffic candidates = %d, want >= 2", all.Candidates)
+	}
+	// Triage isolates the attack stream: identification succeeds and the
+	// verdict holds the mole.
+	if !triaged.Identified || !triaged.MoleLocalized {
+		t.Errorf("triaged row = %+v, want identified and localized", triaged)
+	}
+	if triaged.Candidates != 1 {
+		t.Errorf("triaged candidates = %d, want 1", triaged.Candidates)
+	}
+	if triaged.TrackedPackets >= all.TrackedPackets {
+		t.Error("triage should track fewer packets than everything")
+	}
+	if out := RenderBackground(rows); !strings.Contains(out, "triaged") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDynamicsAcrossRouteChanges(t *testing.T) {
+	cfg := DynamicsConfig{PacketsPerPhase: 120, Runs: 8, Seed: 13}
+	rows, err := Dynamics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	stable, firstHop, full := rows[0], rows[1], rows[2]
+
+	// The §7 claim: traceback survives route changes that preserve the
+	// relative upstream relation (here: the mole's first hop).
+	if !stable.Identified || !stable.MoleLocalized {
+		t.Errorf("stable baseline failed: %+v", stable)
+	}
+	if !firstHop.Identified || !firstHop.MoleLocalized {
+		t.Errorf("first-hop-preserving rewire failed: %+v", firstHop)
+	}
+	// A full rewire may split the candidate set, but localization holds:
+	// every candidate is a (current or former) first hop of the mole.
+	if !full.MoleLocalized {
+		t.Errorf("full rewire lost the mole: %+v", full)
+	}
+	if out := RenderDynamics(rows); !strings.Contains(out, "rewire") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiSourceCampaigns(t *testing.T) {
+	cfg := MultiSourceConfig{
+		SourceCounts:    []int{1, 3},
+		Runs:            4,
+		MaxRounds:       8,
+		PacketsPerRound: 200,
+		Seed:            11,
+	}
+	rows, err := MultiSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AllCutOff < 0.99 {
+			t.Errorf("%d sources: only %.0f%% of campaigns cut off all moles",
+				r.Sources, 100*r.AllCutOff)
+		}
+		if r.MolesLocalized < 0.8 {
+			t.Errorf("%d sources: only %.0f%% of moles ever localized",
+				r.Sources, 100*r.MolesLocalized)
+		}
+	}
+	// More moles need more rounds (caught one by one) and more
+	// quarantined collateral.
+	if rows[1].AvgRounds <= rows[0].AvgRounds {
+		t.Errorf("rounds did not grow with sources: %v vs %v", rows[0].AvgRounds, rows[1].AvgRounds)
+	}
+	if rows[1].AvgQuarantined <= rows[0].AvgQuarantined {
+		t.Errorf("quarantine did not grow with sources")
+	}
+	if out := RenderMultiSource(rows); !strings.Contains(out, "all cut off") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}
+
+func TestMolePosSweep(t *testing.T) {
+	cfg := MolePosConfig{
+		Forwarders: 10,
+		Positions:  []int{2, 8},
+		Runs:       10,
+		MaxPackets: 400,
+		Seed:       14,
+	}
+	rows, err := MolePos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Localized < 0.99 {
+			t.Errorf("position %d: localized only %.0f%%", r.Position, 100*r.Localized)
+		}
+		if r.AvgPackets < 1 {
+			t.Errorf("position %d: avg packets %.1f", r.Position, r.AvgPackets)
+		}
+	}
+	if out := RenderMolePos(rows); !strings.Contains(out, "mole position") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRelatedComparison(t *testing.T) {
+	rows, err := RelatedComparison(DefaultRelated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]RelatedRow{}
+	for _, r := range rows {
+		byName[r.Approach] = r
+	}
+	pnmRow := byName["pnm"]
+	logRow := byName["logging (SPIE)"]
+	ntfRow := byName["notification (iTrace)"]
+
+	// PNM: zero storage, zero control traffic, in-band marks only, and it
+	// must localize a mole despite the selective-dropping colluder.
+	if pnmRow.PerNodeMemoryBytes != 0 || pnmRow.ControlMessages != 0 {
+		t.Fatalf("pnm row = %+v", pnmRow)
+	}
+	if pnmRow.ExtraPacketBytes <= 0 || !pnmRow.Localized {
+		t.Fatalf("pnm row = %+v", pnmRow)
+	}
+	// Logging: pays per-node memory and query messages.
+	if logRow.PerNodeMemoryBytes <= 0 || logRow.ControlMessages <= 0 {
+		t.Fatalf("logging row = %+v", logRow)
+	}
+	// Notification: pays control messages proportional to traffic.
+	if ntfRow.ControlMessages <= 0 {
+		t.Fatalf("notification row = %+v", ntfRow)
+	}
+	if out := RenderRelated(rows); !strings.Contains(out, "pnm") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}
+
+func TestPrecisionAcrossTopologies(t *testing.T) {
+	cfg := PrecisionConfig{Runs: 8, Packets: 250, Seed: 9}
+	rows, err := Precision(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The theorem: a mole is always inside the suspected
+		// neighborhood.
+		if r.MoleInHood < 0.99 {
+			t.Errorf("%s: mole in neighborhood only %.0f%%", r.Topology, 100*r.MoleInHood)
+		}
+		// Precision is one-hop, so suspects = degree + 1 >= 2.
+		if r.AvgSuspects < 2 {
+			t.Errorf("%s: avg suspects %.1f", r.Topology, r.AvgSuspects)
+		}
+	}
+	// Denser topologies have bigger neighborhoods: chain < geometric.
+	if rows[0].AvgSuspects >= rows[2].AvgSuspects {
+		t.Errorf("chain suspects %.1f should be smaller than geometric %.1f",
+			rows[0].AvgSuspects, rows[2].AvgSuspects)
+	}
+	if out := RenderPrecision(rows); !strings.Contains(out, "topology") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}
+
+func TestOverheadTable(t *testing.T) {
+	cfg := OverheadConfig{PathLens: []int{10, 30}, Packets: 300, MarksPerPacket: 3, Seed: 10}
+	rows, err := Overhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(scheme string, n int) OverheadRow {
+		for _, r := range rows {
+			if r.Scheme == scheme && r.PathLen == n {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%d missing", scheme, n)
+		return OverheadRow{}
+	}
+	// Deterministic nested marking carries one mark per hop.
+	if got := get("nested", 30).MarksPerPacket; got != 30 {
+		t.Errorf("nested marks at n=30: %g", got)
+	}
+	// PNM stays near np regardless of path length.
+	for _, n := range cfg.PathLens {
+		if got := get("pnm", n).MarksPerPacket; got < 2.5 || got > 3.5 {
+			t.Errorf("pnm marks at n=%d: %g, want ~3", n, got)
+		}
+	}
+	// Nested overhead grows with n; PNM overhead does not.
+	if get("nested", 30).AvgBytes <= get("nested", 10).AvgBytes {
+		t.Error("nested overhead should grow with path length")
+	}
+	growth := get("pnm", 30).AvgBytes - get("pnm", 10).AvgBytes
+	if growth > 5 || growth < -5 {
+		t.Errorf("pnm overhead should stay flat, changed %.1f bytes", growth)
+	}
+	// Anonymous marks are wider than plaintext ones.
+	if get("pnm", 10).AvgBytes <= get("naive", 10).AvgBytes {
+		t.Error("pnm marks should cost more bytes than naive plaintext marks")
+	}
+	if out := RenderOverhead(rows); !strings.Contains(out, "bytes/pkt") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}

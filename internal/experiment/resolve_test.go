@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveComparisonSmall(t *testing.T) {
+	cfg := ResolveConfig{Sizes: []int{128, 256}, Packets: 10, Seed: 6}
+	rows, err := ResolveComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ExhaustivePerPacket <= 0 || r.TopologyPerPacket <= 0 {
+			t.Fatalf("timings missing: %+v", r)
+		}
+		if r.AvgDegree <= 0 || r.PathLen < 1 {
+			t.Fatalf("topology stats missing: %+v", r)
+		}
+	}
+	// The exhaustive cost grows with network size; the ring search should
+	// not grow proportionally. At minimum, the larger network must not
+	// make topology resolution slower than exhaustive resolution.
+	big := rows[1]
+	if big.Speedup < 1 {
+		t.Errorf("topology resolution slower than exhaustive at %d nodes (%.2fx)", big.Nodes, big.Speedup)
+	}
+	if out := RenderResolve(rows); !strings.Contains(out, "speedup") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}
+
+func TestFilterCompareShape(t *testing.T) {
+	cfg := DefaultFilterCompare()
+	rows := FilterCompare(cfg)
+	if len(rows) != len(cfg.DetectProbs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		// Stronger filtering: bogus traffic travels fewer hops...
+		if rows[i].ExpHops >= rows[i-1].ExpHops {
+			t.Errorf("E[hops] not decreasing at q=%.2f", rows[i].Q)
+		}
+		// ...but traceback needs more injections to see enough packets.
+		if rows[i].DeliveryProb > 0 && rows[i].InjectedToCatch <= rows[i-1].InjectedToCatch {
+			t.Errorf("injected-to-catch not increasing at q=%.2f", rows[i].Q)
+		}
+	}
+	// At q=0 the sink sees everything: injected == SinkPacketsToCatch.
+	if rows[0].InjectedToCatch != cfg.SinkPacketsToCatch {
+		t.Errorf("q=0 injected = %g, want %g", rows[0].InjectedToCatch, cfg.SinkPacketsToCatch)
+	}
+	// Filtering-only energy is always the full exposure window's bill.
+	for _, r := range rows {
+		if r.EnergyFilterOnlyJ <= 0 {
+			t.Errorf("filter-only energy missing at q=%.2f", r.Q)
+		}
+	}
+	if out := RenderFilterCompare(rows, cfg.AttackHours); !strings.Contains(out, "E[hops]") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}

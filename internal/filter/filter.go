@@ -1,0 +1,68 @@
+// Package filter implements a statistical en-route filtering substrate in
+// the spirit of SEF (Ye et al., INFOCOM 2004) — the passive defense the
+// paper positions PNM as complementing (§1, §8). Each legitimate forwarder
+// verifies a bogus report with some probability and drops it; filtering
+// limits how far injected traffic travels but neither stops the mole from
+// injecting nor reveals where it is.
+package filter
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Filter is the en-route filtering policy.
+type Filter struct {
+	// DetectProb is the per-hop probability that a legitimate forwarder
+	// detects and drops a bogus report (SEF's "filtering power", driven by
+	// how many key partitions the forwarder shares with the claimed
+	// event's region).
+	DetectProb float64
+}
+
+// SurvivingHops draws how many hops a bogus report travels on a path of
+// pathLen forwarders, and whether it slipped through every check and
+// reached the sink. A report dropped at hop h still cost h transmissions.
+func (f Filter) SurvivingHops(pathLen int, rng *rand.Rand) (hops int, reached bool) {
+	for h := 1; h <= pathLen; h++ {
+		if rng.Float64() < f.DetectProb {
+			return h, false
+		}
+	}
+	return pathLen, true
+}
+
+// ExpectedTravel returns the expected hop count a bogus report travels on a
+// path of n forwarders under per-hop detection probability q:
+//
+//	E[H] = sum_{h=1..n-1} h*(1-q)^(h-1)*q + n*(1-q)^(n-1)
+func ExpectedTravel(n int, q float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(n)
+	}
+	if q >= 1 {
+		return 1
+	}
+	e := 0.0
+	for h := 1; h < n; h++ {
+		e += float64(h) * math.Pow(1-q, float64(h-1)) * q
+	}
+	e += float64(n) * math.Pow(1-q, float64(n-1))
+	return e
+}
+
+// SinkDeliveryProb returns the probability a bogus report survives all n
+// filtering checks and reaches the sink: (1-q)^n — the residual traffic the
+// sink can feed to PNM traceback.
+func SinkDeliveryProb(n int, q float64) float64 {
+	if q <= 0 {
+		return 1
+	}
+	if q >= 1 {
+		return 0
+	}
+	return math.Pow(1-q, float64(n))
+}

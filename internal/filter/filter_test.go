@@ -1,0 +1,86 @@
+package filter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpectedTravelEdges(t *testing.T) {
+	if got := ExpectedTravel(0, 0.5); got != 0 {
+		t.Fatalf("n=0: %g", got)
+	}
+	if got := ExpectedTravel(10, 0); got != 10 {
+		t.Fatalf("q=0: %g, want 10 (no filtering)", got)
+	}
+	if got := ExpectedTravel(10, 1); got != 1 {
+		t.Fatalf("q=1: %g, want 1 (dropped at first hop)", got)
+	}
+}
+
+func TestExpectedTravelDecreasesWithQ(t *testing.T) {
+	prev := math.Inf(1)
+	for _, q := range []float64{0.1, 0.2, 0.4, 0.8} {
+		e := ExpectedTravel(20, q)
+		if e >= prev {
+			t.Fatalf("E[H] not decreasing at q=%g: %g >= %g", q, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestExpectedTravelMatchesSimulation(t *testing.T) {
+	const n, q, runs = 15, 0.25, 20000
+	f := Filter{DetectProb: q}
+	rng := rand.New(rand.NewSource(1))
+	total := 0
+	for i := 0; i < runs; i++ {
+		h, _ := f.SurvivingHops(n, rng)
+		total += h
+	}
+	got := float64(total) / runs
+	want := ExpectedTravel(n, q)
+	if math.Abs(got-want) > want*0.03 {
+		t.Fatalf("simulated E[H] = %.3f, analytic = %.3f", got, want)
+	}
+}
+
+func TestSinkDeliveryProbMatchesSimulation(t *testing.T) {
+	const n, q, runs = 10, 0.15, 20000
+	f := Filter{DetectProb: q}
+	rng := rand.New(rand.NewSource(2))
+	reached := 0
+	for i := 0; i < runs; i++ {
+		if _, ok := f.SurvivingHops(n, rng); ok {
+			reached++
+		}
+	}
+	got := float64(reached) / runs
+	want := SinkDeliveryProb(n, q)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("simulated delivery = %.3f, analytic = %.3f", got, want)
+	}
+}
+
+func TestSinkDeliveryProbEdges(t *testing.T) {
+	if got := SinkDeliveryProb(10, 0); got != 1 {
+		t.Fatalf("q=0: %g", got)
+	}
+	if got := SinkDeliveryProb(10, 1); got != 0 {
+		t.Fatalf("q=1: %g", got)
+	}
+}
+
+func TestSurvivingHopsBounds(t *testing.T) {
+	f := Filter{DetectProb: 0.5}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		h, reached := f.SurvivingHops(8, rng)
+		if h < 1 || h > 8 {
+			t.Fatalf("hops = %d out of range", h)
+		}
+		if reached && h != 8 {
+			t.Fatalf("reached with %d hops", h)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package isolation
+
+import (
+	"testing"
+
+	"pnm/internal/mac"
+	"pnm/internal/marking"
+	"pnm/internal/mole"
+	"pnm/internal/packet"
+	"pnm/internal/sim"
+	"pnm/internal/sink"
+	"pnm/internal/topology"
+)
+
+func TestManagerBasics(t *testing.T) {
+	topo, err := topology.NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(topo)
+	m.Quarantine(3, packet.SinkID)
+	if !m.Blacklisted(3) {
+		t.Fatal("node 3 not blacklisted")
+	}
+	if m.Blacklisted(packet.SinkID) {
+		t.Fatal("sink must never be quarantined")
+	}
+	if m.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", m.Count())
+	}
+	if !m.ShouldDrop(3, 2) {
+		t.Fatal("traffic from blacklisted hop not dropped")
+	}
+	if m.ShouldDrop(2, 3) {
+		t.Fatal("traffic from clean hop dropped")
+	}
+}
+
+func TestManagerQuarantineVerdict(t *testing.T) {
+	topo, err := topology.NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(topo)
+	m.QuarantineVerdict(sink.Verdict{}) // no-op without a stop
+	if m.Count() != 0 {
+		t.Fatal("empty verdict quarantined nodes")
+	}
+	m.QuarantineVerdict(sink.Verdict{HasStop: true, Stop: 4, Suspects: []packet.NodeID{4, 3, 5}})
+	if m.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", m.Count())
+	}
+}
+
+// buildTwoBranchNet creates a grid network with two source moles on
+// different branches.
+func buildTwoBranchNet(t *testing.T) (*sim.Net, []*mole.Source) {
+	t.Helper()
+	topo, err := topology.NewGrid(topology.GridConfig{Width: 7, Height: 7, Spacing: 1, RadioRange: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := mac.NewKeyStore([]byte("isolation-test"))
+	// Pick two deep nodes on different branches (different parents all the
+	// way): opposite corners of the grid relative to the sink at (0,0).
+	var srcA, srcB packet.NodeID
+	for _, id := range topo.Nodes() {
+		if topo.Depth(id) >= 6 {
+			if srcA == 0 {
+				srcA = id
+			} else {
+				srcB = id
+			}
+		}
+	}
+	if srcA == 0 || srcB == 0 {
+		t.Fatal("no deep nodes found")
+	}
+	p := 0.4
+	scheme := marking.PNM{P: p}
+	env := &mole.Env{
+		Scheme: scheme,
+		StolenKeys: map[packet.NodeID]mac.Key{
+			srcA: keys.Key(srcA),
+			srcB: keys.Key(srcB),
+		},
+	}
+	net := &sim.Net{
+		Topo:   topo,
+		Keys:   keys,
+		Scheme: scheme,
+		Moles:  map[packet.NodeID]*mole.Forwarder{},
+		Env:    env,
+	}
+	sources := []*mole.Source{
+		{ID: srcA, Base: packet.Report{Event: 0xA}, Behavior: mole.MarkNever},
+		{ID: srcB, Base: packet.Report{Event: 0xB}, Behavior: mole.MarkNever},
+	}
+	return net, sources
+}
+
+func TestCampaignCatchesMolesOneByOne(t *testing.T) {
+	net, sources := buildTwoBranchNet(t)
+	c := NewCampaign(net, sources, 77)
+
+	if got := len(c.ActiveSources()); got != 2 {
+		t.Fatalf("active sources = %d, want 2", got)
+	}
+	verdicts, err := c.Run(6, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.ActiveSources()); got != 0 {
+		t.Fatalf("active sources after campaign = %d, want 0", got)
+	}
+	// Each source mole must end up quarantined or cut off behind a
+	// quarantined neighborhood; at least one verdict must have localized
+	// each branch (the suspects of some verdict are within one hop of the
+	// mole).
+	for _, s := range sources {
+		caught := false
+		for _, v := range verdicts {
+			if v.SuspectsContain(s.ID) {
+				caught = true
+				break
+			}
+		}
+		if !caught {
+			t.Errorf("source %v never localized; verdicts: %+v", s.ID, verdicts)
+		}
+	}
+}
+
+func TestCampaignStopsWhenNoProgress(t *testing.T) {
+	net, sources := buildTwoBranchNet(t)
+	// Sabotage: scheme none means the sink never gets marks, so no verdict
+	// forms and the campaign must report no progress instead of spinning.
+	net.Scheme = marking.None{}
+	net.Env.Scheme = marking.None{}
+	c := NewCampaign(net, sources, 78)
+	_, err := c.Run(3, 50)
+	if err == nil {
+		t.Fatal("want a no-progress error")
+	}
+}

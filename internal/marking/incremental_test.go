@@ -1,0 +1,123 @@
+package marking
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pnm/internal/packet"
+)
+
+// TestIncrementalEquivalenceProperty: marking a path with Incremental
+// produces byte-identical messages to the per-hop Scheme.Mark calls, for
+// every nested scheme and any seed.
+func TestIncrementalEquivalenceProperty(t *testing.T) {
+	schemes := []Scheme{
+		Nested{},
+		PNM{P: 0.4},
+		NaiveProbNested{P: 0.4},
+	}
+	f := func(seed int64, hops uint8) bool {
+		n := int(hops%24) + 1
+		rep := packet.Report{Event: uint32(seed), Seq: uint32(hops)}
+		for _, s := range schemes {
+			rngA := rand.New(rand.NewSource(seed))
+			rngB := rand.New(rand.NewSource(seed))
+
+			slow := packet.Message{Report: rep}
+			inc := NewIncremental(rep)
+			for i := n; i >= 1; i-- {
+				id := packet.NodeID(i)
+				slow = s.Mark(id, testKS.Key(id), slow, rngA)
+				inc.Apply(s, id, testKS.Key(id), rngB)
+			}
+			fast := inc.Message()
+			if !reflect.DeepEqual(normalize(slow), normalize(fast)) {
+				return false
+			}
+			if inc.WireSize() != slow.WireSize() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalize maps empty mark slices to nil for DeepEqual.
+func normalize(m packet.Message) packet.Message {
+	if len(m.Marks) == 0 {
+		m.Marks = nil
+	}
+	return m
+}
+
+func TestIncrementalFallbackForFlatSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inc := NewIncremental(packet.Report{Event: 3, Seq: 1})
+	inc.Apply(AMS{P: 1}, 4, testKS.Key(4), rng)
+	msg := inc.Message()
+	if len(msg.Marks) != 1 || msg.Marks[0].ID != 4 {
+		t.Fatalf("marks = %+v", msg.Marks)
+	}
+	want := AMSMAC(testKS.Key(4), msg.Report, 4)
+	if msg.Marks[0].MAC != want {
+		t.Fatal("fallback AMS mark does not verify")
+	}
+}
+
+func TestIncrementalMessageIsCopy(t *testing.T) {
+	inc := NewIncremental(packet.Report{Event: 1})
+	inc.MarkPlain(2, testKS.Key(2))
+	a := inc.Message()
+	a.Marks[0].ID = 99
+	if b := inc.Message(); b.Marks[0].ID != 2 {
+		t.Fatal("Message aliases internal mark storage")
+	}
+}
+
+// BenchmarkIncrementalVsNaive quantifies the O(n) vs O(n^2) marking cost
+// over a 30-hop path.
+func BenchmarkIncrementalVsNaive(b *testing.B) {
+	const n = 30
+	rep := packet.Report{Event: 9}
+	b.Run("scheme-mark", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(1))
+			msg := packet.Message{Report: rep}
+			for j := n; j >= 1; j-- {
+				msg = Nested{}.Mark(packet.NodeID(j), testKS.Key(packet.NodeID(j)), msg, rng)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inc := NewIncremental(rep)
+			for j := n; j >= 1; j-- {
+				inc.MarkPlain(packet.NodeID(j), testKS.Key(packet.NodeID(j)))
+			}
+		}
+	})
+}
+
+func TestResumeContinuesChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Start with the slow path, resume incrementally, compare against the
+	// fully slow path.
+	rep := packet.Report{Event: 4, Seq: 7}
+	slow := packet.Message{Report: rep}
+	for _, id := range []packet.NodeID{9, 8} {
+		slow = Nested{}.Mark(id, testKS.Key(id), slow, rng)
+	}
+	inc := Resume(slow)
+	inc.MarkPlain(7, testKS.Key(7))
+	fast := inc.Message()
+
+	want := Nested{}.Mark(7, testKS.Key(7), slow, rng)
+	if !reflect.DeepEqual(want, fast) {
+		t.Fatalf("Resume chain diverged:\n want %+v\n got %+v", want, fast)
+	}
+}

@@ -1,0 +1,195 @@
+// Package necessity is the executable form of the paper's Theorem 3: any
+// marking scheme whose MAC protects fewer fields than nested marking is
+// not consecutive traceable — and therefore (Theorem 1) not one-hop
+// precise.
+//
+// It provides a family of marking schemes parameterized by how much of the
+// received message each mark's MAC covers, from extended-AMS-like (nothing
+// upstream) through "last k marks" and "IDs but not MACs" up to full
+// nested marking, together with the constructive attack from the proof:
+// alter exactly the upstream bits the downstream marks fail to cover. The
+// tests sweep the family and verify that the attack succeeds against every
+// proper subset of nested coverage and fails only against full coverage.
+package necessity
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"pnm/internal/mac"
+	"pnm/internal/packet"
+)
+
+// Coverage selects which parts of the received message M_{i-1} a node's
+// MAC protects, in addition to the node's own ID (which every scheme in
+// the family covers, as AMS does).
+type Coverage struct {
+	// Report covers the original report bytes.
+	Report bool
+	// LastK covers the K most recent upstream marks in full. Use the
+	// sentinel AllMarks for nested marking's complete coverage.
+	LastK int
+	// IDsOnly weakens mark coverage to the upstream marks' ID fields,
+	// leaving their MACs unprotected.
+	IDsOnly bool
+}
+
+// AllMarks is the LastK sentinel for full nested coverage.
+const AllMarks = 1 << 20
+
+// Nested returns the full coverage of nested marking.
+func Nested() Coverage {
+	return Coverage{Report: true, LastK: AllMarks}
+}
+
+// AMSLike returns extended AMS's coverage: report and own ID only.
+func AMSLike() Coverage {
+	return Coverage{Report: true, LastK: 0}
+}
+
+// IsNested reports whether c is (at least) full nested coverage.
+func (c Coverage) IsNested() bool {
+	return c.Report && c.LastK >= AllMarks && !c.IDsOnly
+}
+
+// input builds the MAC input for a mark appended at position k of msg:
+// the covered slice of the received message followed by the marker's ID.
+func (c Coverage) input(msg packet.Message, k int, id packet.NodeID) []byte {
+	var buf []byte
+	if c.Report {
+		buf = msg.Report.Encode(buf)
+	}
+	first := 0
+	if c.LastK < k {
+		first = k - c.LastK
+	}
+	for i := first; i < k; i++ {
+		mk := msg.Marks[i]
+		if c.IDsOnly {
+			var idb [2]byte
+			binary.BigEndian.PutUint16(idb[:], uint16(mk.ID))
+			buf = append(buf, idb[:]...)
+		} else {
+			buf = mk.Encode(buf)
+		}
+	}
+	var idb [2]byte
+	binary.BigEndian.PutUint16(idb[:], uint16(id))
+	return append(buf, idb[:]...)
+}
+
+// Scheme is a plaintext-ID marking scheme with configurable coverage.
+// Every node marks (the theorem concerns what MACs protect, not marking
+// probability).
+type Scheme struct {
+	// Cov selects the protected fields.
+	Cov Coverage
+}
+
+// Name identifies the scheme.
+func (s Scheme) Name() string { return "partial-coverage" }
+
+// Mark appends a mark whose MAC covers s.Cov of the received message.
+func (s Scheme) Mark(id packet.NodeID, key mac.Key, msg packet.Message, _ *rand.Rand) packet.Message {
+	out := msg.Clone()
+	out.Marks = append(out.Marks, packet.Mark{
+		ID:  id,
+		MAC: mac.Sum(key, s.Cov.input(msg, len(msg.Marks), id)),
+	})
+	return out
+}
+
+// Verifier checks marks under the same coverage, walking backwards like
+// the nested verifier: the accepted chain is the maximal valid suffix.
+type Verifier struct {
+	// Cov must match the deployed scheme's coverage.
+	Cov Coverage
+	// Keys is the sink's key store.
+	Keys *mac.KeyStore
+	// NumNodes bounds valid IDs.
+	NumNodes int
+}
+
+// Verify returns the accepted marker chain, most upstream first.
+func (v Verifier) Verify(msg packet.Message) []packet.NodeID {
+	var chain []packet.NodeID
+	for k := len(msg.Marks) - 1; k >= 0; k-- {
+		mk := msg.Marks[k]
+		if mk.Anonymous || mk.ID == packet.SinkID || int(mk.ID) > v.NumNodes {
+			break
+		}
+		want := mac.Sum(v.Keys.Key(mk.ID), v.Cov.input(msg, k, mk.ID))
+		if !mac.Equal(mk.MAC, want) {
+			break
+		}
+		chain = append(chain, mk.ID)
+	}
+	// Reverse into forwarding order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// Attack is the constructive tamper from Theorem 3's proof, executed by a
+// colluding mole: find the bits of the most upstream mark that the
+// downstream marks' MACs do not protect, and flip them.
+//
+//   - Under LastK coverage, the first mark is unprotected by every mark
+//     more than K positions after it, so flipping its MAC bits invalidates
+//     only marks 2..K+1; verification then stops at marker K+2 — an
+//     innocent node when the mole sits further downstream.
+//   - Under IDsOnly coverage, the first mark's MAC field is protected by
+//     nobody at any distance; flipping it invalidates only the first mark
+//     itself.
+//   - Under full nested coverage there are no unprotected bits: the same
+//     flip invalidates every downstream mark and verification stops at the
+//     mole's own next hop, which is exactly one-hop precision.
+type Attack struct{}
+
+// Apply flips the first mark's MAC (its least-protected field).
+func (Attack) Apply(msg packet.Message) packet.Message {
+	out := msg.Clone()
+	if len(out.Marks) == 0 {
+		return out
+	}
+	out.Marks[0].MAC[0] ^= 0x5A
+	return out
+}
+
+// ReportSplice is the synthesized attack for coverages that leave the
+// report unprotected: the mole keeps the (valid) mark chain and swaps in
+// its own bogus report. Every mark still verifies, so the sink attributes
+// the bogus content to the innocent origin of the stolen chain.
+type ReportSplice struct {
+	// Bogus is the content the mole injects under the stolen marks.
+	Bogus packet.Report
+}
+
+// Apply replaces the report, leaving the marks untouched.
+func (a ReportSplice) Apply(msg packet.Message) packet.Message {
+	out := msg.Clone()
+	out.Report = a.Bogus
+	return out
+}
+
+// Breaks reports whether coverage c is vulnerable to a synthesized attack
+// in principle: some field of the received message escapes downstream
+// protection. By Theorem 3 this is every coverage short of full nesting.
+func Breaks(c Coverage) bool {
+	return !c.IsNested()
+}
+
+// SynthesizeAttack returns the tamper that exploits c's specific gap, and
+// false for full nested coverage (no gap exists — the theorem's
+// sufficiency direction).
+func SynthesizeAttack(c Coverage) (func(packet.Message) packet.Message, bool) {
+	switch {
+	case c.IsNested():
+		return nil, false
+	case !c.Report:
+		return ReportSplice{Bogus: packet.Report{Event: 0xE71, Location: 0xBAD}}.Apply, true
+	default:
+		return Attack{}.Apply, true
+	}
+}

@@ -1,0 +1,186 @@
+package necessity
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnm/internal/mac"
+	"pnm/internal/packet"
+)
+
+var testKS = mac.NewKeyStore([]byte("necessity-test"))
+
+// runScenario drives one packet down a 12-forwarder chain with a tampering
+// mole at position molePos (counted from the source side, 1-based), under
+// the given coverage, and returns the most upstream accepted marker (0 if
+// none).
+func runScenario(t *testing.T, cov Coverage, molePos int) packet.NodeID {
+	t.Helper()
+	const n = 12
+	scheme := Scheme{Cov: cov}
+	rng := rand.New(rand.NewSource(1))
+	msg := packet.Message{Report: packet.Report{Event: 0xBAD, Seq: 1}}
+	tamper, _ := SynthesizeAttack(cov)
+	if tamper == nil {
+		tamper = Attack{}.Apply // nested coverage: run the strongest gap attack anyway
+	}
+	// Forwarders are nodes 12..1: node 12 is the most upstream marker,
+	// node 1 hands the packet to the sink.
+	for i := 0; i < n; i++ {
+		hop := packet.NodeID(n - i)
+		if molePos > 0 && i == molePos-1 {
+			msg = tamper(msg) // the mole tampers, then stays silent
+			continue
+		}
+		msg = scheme.Mark(hop, testKS.Key(hop), msg, rng)
+	}
+	chain := Verifier{Cov: cov, Keys: testKS, NumNodes: n}.Verify(msg)
+	if len(chain) == 0 {
+		return 0
+	}
+	return chain[0]
+}
+
+func TestTheorem3Necessity(t *testing.T) {
+	// The attack from the proof, swept across the coverage family. The
+	// mole sits at position 9 (far downstream), so a secure scheme must
+	// bring the traceback to within one hop of node 12-9+1 = 4 (the
+	// mole's position as a node ID is 12-(9-1) = 4; its next-hop marker is
+	// node 3).
+	const molePos = 9
+	moleNode := packet.NodeID(12 - (molePos - 1))
+	tests := []struct {
+		name string
+		cov  Coverage
+	}{
+		{"ams-like (last 0)", AMSLike()},
+		{"last 1", Coverage{Report: true, LastK: 1}},
+		{"last 2", Coverage{Report: true, LastK: 2}},
+		{"last 4", Coverage{Report: true, LastK: 4}},
+		{"ids only", Coverage{Report: true, LastK: AllMarks, IDsOnly: true}},
+		{"no report", Coverage{Report: false, LastK: AllMarks}},
+		{"nested", Nested()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			stop := runScenario(t, tt.cov, molePos)
+			if stop == 0 {
+				t.Fatal("no marks accepted at all")
+			}
+			// One-hop precision: the stop node is within one hop of the
+			// mole (node IDs are chain positions, so adjacency is +-1).
+			precise := stop == moleNode || stop == moleNode-1 || stop == moleNode+1
+			if tt.cov.IsNested() {
+				if !precise {
+					t.Fatalf("nested coverage misled to %v (mole at %v)", stop, moleNode)
+				}
+				return
+			}
+			if !Breaks(tt.cov) {
+				t.Fatalf("Breaks(%+v) = false for non-nested coverage", tt.cov)
+			}
+			if precise {
+				t.Fatalf("coverage %+v unexpectedly held one-hop precision (stop %v)", tt.cov, stop)
+			}
+		})
+	}
+}
+
+func TestNestedCoverageEqualsFullProtection(t *testing.T) {
+	// Without tampering, every coverage verifies the full chain.
+	for _, cov := range []Coverage{AMSLike(), {Report: true, LastK: 3}, Nested()} {
+		if got := runScenario(t, cov, 0); got != 12 {
+			t.Fatalf("coverage %+v: clean chain stops at %v, want V12", cov, got)
+		}
+	}
+}
+
+func TestBreaksClassification(t *testing.T) {
+	tests := []struct {
+		cov  Coverage
+		want bool
+	}{
+		{Nested(), false},
+		{AMSLike(), true},
+		{Coverage{Report: true, LastK: 100}, true}, // large but finite K
+		{Coverage{Report: true, LastK: AllMarks, IDsOnly: true}, true},
+		{Coverage{Report: false, LastK: AllMarks}, true},
+	}
+	for _, tt := range tests {
+		if got := Breaks(tt.cov); got != tt.want {
+			t.Errorf("Breaks(%+v) = %v, want %v", tt.cov, got, tt.want)
+		}
+	}
+}
+
+func TestSynthesizeAttack(t *testing.T) {
+	if tamper, ok := SynthesizeAttack(Nested()); ok || tamper != nil {
+		t.Fatal("nested coverage must admit no attack")
+	}
+	if _, ok := SynthesizeAttack(AMSLike()); !ok {
+		t.Fatal("ams-like coverage must admit an attack")
+	}
+	tamper, ok := SynthesizeAttack(Coverage{Report: false, LastK: AllMarks})
+	if !ok {
+		t.Fatal("report-uncovered coverage must admit an attack")
+	}
+	// The synthesized attack for an unprotected report is a splice.
+	msg := packet.Message{Report: packet.Report{Event: 1}}
+	if out := tamper(msg); out.Report.Event == 1 {
+		t.Fatal("splice attack did not replace the report")
+	}
+}
+
+func TestLastKBoundary(t *testing.T) {
+	// With LastK = k, altering mark 0 must invalidate exactly marks
+	// 1..k (plus mark 0 itself) and leave mark k+1 onward valid.
+	const n = 10
+	for _, k := range []int{0, 1, 3} {
+		cov := Coverage{Report: true, LastK: k}
+		scheme := Scheme{Cov: cov}
+		rng := rand.New(rand.NewSource(2))
+		msg := packet.Message{Report: packet.Report{Event: 1, Seq: 2}}
+		for i := 0; i < n; i++ {
+			msg = scheme.Mark(packet.NodeID(n-i), testKS.Key(packet.NodeID(n-i)), msg, rng)
+		}
+		tampered := Attack{}.Apply(msg)
+		chain := Verifier{Cov: cov, Keys: testKS, NumNodes: n}.Verify(tampered)
+		// Marks 0..k are invalid; the chain holds the remaining n-k-1.
+		if want := n - k - 1; len(chain) != want {
+			t.Fatalf("k=%d: chain length = %d, want %d (%v)", k, len(chain), want, chain)
+		}
+	}
+}
+
+func TestVerifierRejectsForeignAndAnonymousMarks(t *testing.T) {
+	v := Verifier{Cov: Nested(), Keys: testKS, NumNodes: 4}
+	msg := packet.Message{Report: packet.Report{}, Marks: []packet.Mark{{ID: 99}}}
+	if got := v.Verify(msg); len(got) != 0 {
+		t.Fatalf("foreign ID accepted: %v", got)
+	}
+	msg.Marks[0] = packet.Mark{Anonymous: true}
+	if got := v.Verify(msg); len(got) != 0 {
+		t.Fatalf("anonymous mark accepted: %v", got)
+	}
+}
+
+func TestCoverageInputsDiffer(t *testing.T) {
+	// Sanity: different coverages produce different MAC inputs on the
+	// same message, so schemes in the family are genuinely distinct.
+	rng := rand.New(rand.NewSource(3))
+	msg := packet.Message{Report: packet.Report{Event: 5, Seq: 3}}
+	msg = Scheme{Cov: Nested()}.Mark(5, testKS.Key(5), msg, rng)
+	msg = Scheme{Cov: Nested()}.Mark(4, testKS.Key(4), msg, rng)
+
+	seen := map[string]Coverage{}
+	for _, cov := range []Coverage{AMSLike(), {Report: true, LastK: 1}, Nested(), {Report: true, LastK: AllMarks, IDsOnly: true}} {
+		in := string(cov.input(msg, 2, 3))
+		if prev, dup := seen[in]; dup {
+			t.Fatalf("coverages %+v and %+v produce identical inputs", prev, cov)
+		}
+		seen[in] = cov
+	}
+	if len(seen) != 4 {
+		t.Fatalf("inputs = %d, want 4 distinct", len(seen))
+	}
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pnm/internal/mac"
+	"pnm/internal/marking"
+	"pnm/internal/mole"
+	"pnm/internal/packet"
+	"pnm/internal/topology"
+)
+
+// TestLiveIsolationLoop closes the fight-back loop on a running network:
+// the sink traces the flooding mole, quarantines the suspected
+// neighborhood via the shared blacklist, and the attack traffic stops
+// reaching the sink while the mole keeps injecting.
+func TestLiveIsolationLoop(t *testing.T) {
+	const n = 10
+	topo, err := topology.NewChain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := mac.NewKeyStore([]byte("iso-live"))
+	p := 3 / float64(n-1)
+	scheme := marking.PNM{P: p}
+
+	var mu sync.Mutex
+	blacklist := map[packet.NodeID]bool{}
+	isBlacklisted := func(id packet.NodeID) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return blacklist[id]
+	}
+
+	env := &mole.Env{Scheme: scheme, StolenKeys: map[packet.NodeID]mac.Key{n: keys.Key(n)}}
+	net, err := Start(Config{
+		Topo: topo, Keys: keys, Scheme: scheme, Seed: 1, Env: env,
+		Blacklisted: isBlacklisted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+
+	src := &mole.Source{ID: n, Base: packet.Report{Event: 0xF1}, Behavior: mole.MarkNever}
+	rng := rand.New(rand.NewSource(2))
+
+	// Phase 1: the mole floods until the sink identifies the origin.
+	deadline := time.Now().Add(10 * time.Second)
+	identified := false
+	for time.Now().Before(deadline) {
+		for i := 0; i < 20; i++ {
+			if err := net.Inject(n, src.Next(env, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		if v := net.Verdict(); v.Identified && v.SuspectsContain(n) {
+			// Fight back: quarantine the suspected neighborhood.
+			mu.Lock()
+			for _, s := range v.Suspects {
+				if s != packet.SinkID {
+					blacklist[s] = true
+				}
+			}
+			mu.Unlock()
+			identified = true
+			break
+		}
+	}
+	if !identified {
+		t.Fatalf("sink never identified the mole: %+v", net.Verdict())
+	}
+
+	// Phase 2: let in-flight packets drain, then verify the quarantine
+	// holds — continued injection adds nothing at the sink.
+	time.Sleep(200 * time.Millisecond)
+	before := net.Delivered()
+	for i := 0; i < 100; i++ {
+		if err := net.Inject(n, src.Next(env, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	if after := net.Delivered(); after != before {
+		t.Fatalf("quarantine leaked: delivered went %d -> %d", before, after)
+	}
+	// The first legitimate hop below the quarantined neighborhood did the
+	// dropping.
+	dropped := 0
+	for _, id := range topo.Nodes() {
+		dropped += net.NodeStats(id).DroppedQuarantine
+	}
+	if dropped == 0 {
+		t.Fatal("no quarantine drops recorded")
+	}
+}

@@ -1,0 +1,269 @@
+// Package netsim is the concurrent network simulator: one goroutine per
+// sensor node running the full forwarding stack (duplicate suppression,
+// en-route filtering, quarantine honoring, marking — or mole behaviour),
+// channels as radio links, optional link loss, and a sink goroutine
+// folding received packets into the traceback tracker. It proves the
+// protocol under concurrency, loss and reordering; the figures use the
+// synchronous engine in internal/sim.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pnm/internal/energy"
+	"pnm/internal/mac"
+	"pnm/internal/marking"
+	"pnm/internal/mole"
+	"pnm/internal/node"
+	"pnm/internal/packet"
+	"pnm/internal/sink"
+	"pnm/internal/topology"
+)
+
+// Config describes a live network.
+type Config struct {
+	// Topo is the routing substrate.
+	Topo *topology.Network
+	// Keys is the shared key store.
+	Keys *mac.KeyStore
+	// Scheme is the deployed marking scheme.
+	Scheme marking.Scheme
+	// Moles maps compromised forwarders to their behaviours.
+	Moles map[packet.NodeID]*mole.Forwarder
+	// Env is the moles' knowledge.
+	Env *mole.Env
+	// LossProb is the per-link packet-loss probability.
+	LossProb float64
+	// Seed derives each node's private RNG.
+	Seed int64
+	// TopologyResolver selects the O(d) anonymous-ID search at the sink.
+	TopologyResolver bool
+	// QueueLen is the per-node inbox depth (default 64).
+	QueueLen int
+
+	// SuppressorCapacity arms per-node duplicate suppression when
+	// positive.
+	SuppressorCapacity int
+	// FilterDetectProb arms SEF-like en-route filtering when positive;
+	// BogusReport must then identify attack traffic.
+	FilterDetectProb float64
+	// BogusReport is the filtering model's ground truth: whether a report
+	// is detectably false. Nil means nothing is filtered.
+	BogusReport func(packet.Report) bool
+	// Blacklisted arms quarantine honoring: legitimate nodes refuse
+	// traffic from blacklisted previous hops. May be nil.
+	Blacklisted func(packet.NodeID) bool
+	// Energy, when non-nil, accounts each node's radio spend.
+	Energy *energy.Model
+}
+
+// transmission is one radio frame in flight.
+type transmission struct {
+	from packet.NodeID
+	msg  packet.Message
+}
+
+// Network is a running simulation. Always Close it.
+type Network struct {
+	cfg    Config
+	nodes  map[packet.NodeID]*node.Node
+	inbox  map[packet.NodeID]chan transmission
+	sinkCh chan transmission
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	tracker   *sink.Tracker
+	delivered int
+
+	closeOnce sync.Once
+}
+
+// errClosed reports injection into a stopped network.
+var errClosed = errors.New("netsim: network closed")
+
+// Start spins up the node and sink goroutines.
+func Start(cfg Config) (*Network, error) {
+	if cfg.Topo == nil || cfg.Keys == nil || cfg.Scheme == nil {
+		return nil, errors.New("netsim: topo, keys and scheme are required")
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 64
+	}
+	if cfg.Env == nil {
+		cfg.Env = &mole.Env{Scheme: cfg.Scheme, StolenKeys: map[packet.NodeID]mac.Key{}}
+	}
+	var resolver sink.Resolver
+	if cfg.TopologyResolver {
+		resolver = sink.NewTopologyResolver(cfg.Keys, cfg.Topo)
+	} else {
+		resolver = sink.NewExhaustiveResolver(cfg.Keys, cfg.Topo.Nodes())
+	}
+	verifier, err := sink.NewVerifier(cfg.Scheme, cfg.Keys, cfg.Topo.NumNodes(), resolver)
+	if err != nil {
+		return nil, err
+	}
+
+	n := &Network{
+		cfg:     cfg,
+		nodes:   make(map[packet.NodeID]*node.Node, cfg.Topo.NumNodes()),
+		inbox:   make(map[packet.NodeID]chan transmission, cfg.Topo.NumNodes()),
+		sinkCh:  make(chan transmission, cfg.QueueLen),
+		stop:    make(chan struct{}),
+		tracker: sink.NewTracker(verifier, cfg.Topo),
+	}
+	for _, id := range cfg.Topo.Nodes() {
+		n.inbox[id] = make(chan transmission, cfg.QueueLen)
+		n.nodes[id] = node.New(node.Config{
+			ID:                 id,
+			Key:                cfg.Keys.Key(id),
+			Scheme:             cfg.Scheme,
+			SuppressorCapacity: cfg.SuppressorCapacity,
+			FilterDetectProb:   cfg.FilterDetectProb,
+			Blacklisted:        cfg.Blacklisted,
+			Mole:               cfg.Moles[id],
+			Env:                cfg.Env,
+			Energy:             cfg.Energy,
+		})
+	}
+	for _, id := range cfg.Topo.Nodes() {
+		id := id
+		n.wg.Add(1)
+		go n.runNode(id)
+	}
+	n.wg.Add(1)
+	go n.runSink()
+	return n, nil
+}
+
+// runNode is one forwarder's event loop: receive, run the stack, pass on.
+func (n *Network) runNode(id packet.NodeID) {
+	defer n.wg.Done()
+	rng := rand.New(rand.NewSource(n.cfg.Seed ^ (int64(id) * 0x9E3779B97F4A7C)))
+	stack := n.nodes[id]
+	for {
+		select {
+		case <-n.stop:
+			return
+		case tx := <-n.inbox[id]:
+			bogus := n.cfg.BogusReport != nil && n.cfg.BogusReport(tx.msg.Report)
+			out, outcome := stack.Handle(tx.from, tx.msg, bogus, rng)
+			if outcome != node.Forwarded {
+				continue
+			}
+			n.send(id, n.cfg.Topo.Parent(id), out, rng)
+		}
+	}
+}
+
+// runSink folds delivered packets into the tracker.
+func (n *Network) runSink() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case tx := <-n.sinkCh:
+			n.mu.Lock()
+			// The sink also refuses traffic handed over by a quarantined
+			// neighbor.
+			if n.cfg.Blacklisted == nil || !n.cfg.Blacklisted(tx.from) {
+				n.tracker.Observe(tx.msg)
+				n.delivered++
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// send transmits msg over the link to hop, subject to loss.
+func (n *Network) send(from, hop packet.NodeID, msg packet.Message, rng *rand.Rand) {
+	if n.cfg.LossProb > 0 && rng.Float64() < n.cfg.LossProb {
+		return // lost on the air
+	}
+	var ch chan transmission
+	if hop == packet.SinkID {
+		ch = n.sinkCh
+	} else {
+		ch = n.inbox[hop]
+	}
+	select {
+	case ch <- transmission{from: from, msg: msg}:
+	case <-n.stop:
+	}
+}
+
+// Inject transmits msg from src toward the sink (src's own radio hop, also
+// subject to loss). It is safe from any goroutine.
+func (n *Network) Inject(src packet.NodeID, msg packet.Message) error {
+	select {
+	case <-n.stop:
+		return errClosed
+	default:
+	}
+	hop := n.cfg.Topo.Parent(src)
+	var ch chan transmission
+	if hop == packet.SinkID {
+		ch = n.sinkCh
+	} else {
+		ch = n.inbox[hop]
+	}
+	select {
+	case ch <- transmission{from: src, msg: msg}:
+		return nil
+	case <-n.stop:
+		return errClosed
+	}
+}
+
+// Delivered returns how many packets the sink has processed.
+func (n *Network) Delivered() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered
+}
+
+// Verdict returns the sink's current traceback conclusion.
+func (n *Network) Verdict() sink.Verdict {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tracker.Verdict()
+}
+
+// NodeStats returns a node's forwarding counters. Call after Close for a
+// consistent snapshot, or accept approximate live values.
+func (n *Network) NodeStats(id packet.NodeID) node.Stats {
+	st := n.nodes[id]
+	if st == nil {
+		return node.Stats{}
+	}
+	return st.Stats()
+}
+
+// WaitDelivered blocks until the sink has processed at least want packets
+// or the timeout elapses.
+func (n *Network) WaitDelivered(want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if n.Delivered() >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("netsim: delivered %d of %d before timeout", n.Delivered(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops every goroutine and waits for them to exit. Safe to call
+// more than once.
+func (n *Network) Close() {
+	n.closeOnce.Do(func() {
+		close(n.stop)
+	})
+	n.wg.Wait()
+}

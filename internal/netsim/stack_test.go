@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pnm/internal/energy"
+	"pnm/internal/mac"
+	"pnm/internal/marking"
+	"pnm/internal/mole"
+	"pnm/internal/packet"
+	"pnm/internal/topology"
+)
+
+// TestLiveReplaySuppression injects the same report repeatedly: per-node
+// duplicate suppression lets only the first copy through.
+func TestLiveReplaySuppression(t *testing.T) {
+	topo, err := topology.NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := mac.NewKeyStore([]byte("stack-test"))
+	net, err := Start(Config{
+		Topo: topo, Keys: keys, Scheme: marking.Nested{}, Seed: 1,
+		SuppressorCapacity: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+
+	msg := packet.Message{Report: packet.Report{Event: 1, Seq: 1}}
+	for i := 0; i < 10; i++ {
+		if err := net.Inject(5, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.WaitDelivered(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Give the replays time to be dropped.
+	time.Sleep(200 * time.Millisecond)
+	if got := net.Delivered(); got != 1 {
+		t.Fatalf("delivered = %d, want 1 (duplicates suppressed)", got)
+	}
+	// Node 4 (first hop) absorbed the duplicates.
+	if s := net.NodeStats(4); s.DroppedDuplicate != 9 {
+		t.Fatalf("node 4 stats = %+v, want 9 duplicates dropped", s)
+	}
+}
+
+// TestLiveFiltering arms perfect en-route filtering for attack traffic:
+// nothing bogus reaches the sink, while genuine reports flow.
+func TestLiveFiltering(t *testing.T) {
+	topo, err := topology.NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := mac.NewKeyStore([]byte("stack-test"))
+	net, err := Start(Config{
+		Topo: topo, Keys: keys, Scheme: marking.Nested{}, Seed: 2,
+		FilterDetectProb: 1,
+		BogusReport:      func(r packet.Report) bool { return r.Event == 0xBAD },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+
+	for i := 0; i < 5; i++ {
+		if err := net.Inject(5, packet.Message{Report: packet.Report{Event: 0xBAD, Seq: uint32(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.Inject(5, packet.Message{Report: packet.Report{Event: 0x600D, Seq: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.WaitDelivered(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if got := net.Delivered(); got != 1 {
+		t.Fatalf("delivered = %d, want only the genuine report", got)
+	}
+	if s := net.NodeStats(4); s.DroppedFiltered != 5 {
+		t.Fatalf("node 4 stats = %+v, want 5 filtered", s)
+	}
+}
+
+// TestLiveQuarantine blacklists the injecting mole: its first hop refuses
+// everything, including at the sink boundary.
+func TestLiveQuarantine(t *testing.T) {
+	topo, err := topology.NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := mac.NewKeyStore([]byte("stack-test"))
+	var mu sync.Mutex
+	blacklist := map[packet.NodeID]bool{}
+	net, err := Start(Config{
+		Topo: topo, Keys: keys, Scheme: marking.Nested{}, Seed: 3,
+		Blacklisted: func(id packet.NodeID) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return blacklist[id]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+
+	// Traffic flows before quarantine.
+	if err := net.Inject(5, packet.Message{Report: packet.Report{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.WaitDelivered(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Quarantine node 5; subsequent traffic dies at node 4.
+	mu.Lock()
+	blacklist[5] = true
+	mu.Unlock()
+	for i := 2; i <= 6; i++ {
+		if err := net.Inject(5, packet.Message{Report: packet.Report{Seq: uint32(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	if got := net.Delivered(); got != 1 {
+		t.Fatalf("delivered = %d, want 1 (quarantine holds)", got)
+	}
+	if s := net.NodeStats(4); s.DroppedQuarantine != 5 {
+		t.Fatalf("node 4 stats = %+v, want 5 quarantine drops", s)
+	}
+}
+
+// TestLiveEnergyAccounting checks energy accrues per forwarded packet.
+func TestLiveEnergyAccounting(t *testing.T) {
+	topo, err := topology.NewChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := mac.NewKeyStore([]byte("stack-test"))
+	model := energy.Mica2()
+	net, err := Start(Config{
+		Topo: topo, Keys: keys, Scheme: marking.Nested{}, Seed: 4, Energy: &model,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	for i := 0; i < 10; i++ {
+		if err := net.Inject(4, packet.Message{Report: packet.Report{Seq: uint32(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.WaitDelivered(10, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := net.NodeStats(2)
+	if s.Forwarded != 10 || s.EnergySpentJ <= 0 {
+		t.Fatalf("node 2 stats = %+v", s)
+	}
+	// Downstream nodes forward bigger packets (more marks) and spend more.
+	if up, down := net.NodeStats(3), net.NodeStats(1); down.EnergySpentJ <= up.EnergySpentJ {
+		t.Fatalf("energy should grow downstream: V3 %.9f vs V1 %.9f", up.EnergySpentJ, down.EnergySpentJ)
+	}
+}
+
+// TestLiveMoleWithStack keeps the colluding-mole path working through the
+// node-stack refactor.
+func TestLiveMoleWithStack(t *testing.T) {
+	topo, err := topology.NewChain(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := mac.NewKeyStore([]byte("stack-test"))
+	env := &mole.Env{Scheme: marking.Nested{}, StolenKeys: map[packet.NodeID]mac.Key{}}
+	net, err := Start(Config{
+		Topo: topo, Keys: keys, Scheme: marking.Nested{}, Seed: 5, Env: env,
+		SuppressorCapacity: 16,
+		Moles: map[packet.NodeID]*mole.Forwarder{
+			4: {ID: 4, Behavior: mole.MarkNever, Tampers: []mole.Tamper{mole.RemoveAll{}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		msg := packet.Message{Report: packet.Report{Event: uint32(rng.Uint32()), Seq: uint32(i)}}
+		if err := net.Inject(7, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.WaitDelivered(30, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	v := net.Verdict()
+	if !v.HasStop || !v.SuspectsContain(4) {
+		t.Fatalf("verdict %+v does not localize the mole", v)
+	}
+}

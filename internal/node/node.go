@@ -1,0 +1,160 @@
+// Package node assembles the full per-node forwarding stack a deployed
+// sensor would run, combining the substrates the paper assumes around PNM:
+//
+//   - duplicate suppression of recently forwarded reports (which also
+//     blunts replay attacks, §7),
+//   - statistical en-route filtering of detectably bogus reports (the SEF
+//     complement, §1/§8),
+//   - quarantine honoring: refusing traffic arriving from blacklisted
+//     neighbors (the isolation fight-back, §7),
+//   - and finally the deployed marking scheme.
+//
+// A compromised node replaces the whole stack with mole behaviour.
+package node
+
+import (
+	"math/rand"
+	"sync"
+
+	"pnm/internal/energy"
+	"pnm/internal/mac"
+	"pnm/internal/marking"
+	"pnm/internal/mole"
+	"pnm/internal/packet"
+	"pnm/internal/replay"
+)
+
+// Config assembles one node's stack.
+type Config struct {
+	// ID is the node's identity.
+	ID packet.NodeID
+	// Key is the node's symmetric key shared with the sink.
+	Key mac.Key
+	// Scheme is the deployed marking scheme.
+	Scheme marking.Scheme
+	// SuppressorCapacity enables duplicate suppression when positive.
+	SuppressorCapacity int
+	// FilterDetectProb enables en-route filtering of bogus reports when
+	// positive: each bogus report is detected (and dropped) with this
+	// probability. Genuine reports are never misclassified in this model.
+	FilterDetectProb float64
+	// Blacklisted reports whether a neighbor is quarantined; traffic
+	// arriving from a blacklisted previous hop is refused. May be nil.
+	Blacklisted func(packet.NodeID) bool
+	// Mole, when set, replaces legitimate behaviour entirely.
+	Mole *mole.Forwarder
+	// Env is required when Mole is set.
+	Env *mole.Env
+	// Energy, when non-nil, accumulates the node's radio energy spend.
+	Energy *energy.Model
+}
+
+// Node is one forwarding node's state. Handle and Stats are safe for
+// concurrent use.
+type Node struct {
+	cfg Config
+	sup *replay.Suppressor
+
+	mu            sync.Mutex
+	forwarded     int
+	dupDropped    int
+	filterDropped int
+	quarDropped   int
+	moleDropped   int
+	spentJ        float64
+}
+
+// New builds a node from its config.
+func New(cfg Config) *Node {
+	n := &Node{cfg: cfg}
+	if cfg.SuppressorCapacity > 0 {
+		n.sup = replay.NewSuppressor(cfg.SuppressorCapacity)
+	}
+	return n
+}
+
+// Outcome classifies what the node did with a packet.
+type Outcome int
+
+// The forwarding outcomes.
+const (
+	// Forwarded: the packet was (possibly marked and) passed on.
+	Forwarded Outcome = iota + 1
+	// DroppedDuplicate: duplicate suppression discarded the packet.
+	DroppedDuplicate
+	// DroppedFiltered: en-route filtering detected a bogus report.
+	DroppedFiltered
+	// DroppedQuarantine: the previous hop is blacklisted.
+	DroppedQuarantine
+	// DroppedByMole: the node is a mole and chose to drop it.
+	DroppedByMole
+)
+
+// Handle processes one packet arriving from prev. bogus tells the filter
+// model whether the report is detectably false (the sim's ground truth for
+// SEF's probabilistic detection). It returns the message to forward and
+// the outcome.
+func (n *Node) Handle(prev packet.NodeID, msg packet.Message, bogus bool, rng *rand.Rand) (packet.Message, Outcome) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.Energy != nil {
+		n.spentJ += n.cfg.Energy.RxJoulePerByte * float64(msg.WireSize()+n.cfg.Energy.FrameOverheadBytes)
+	}
+	// A compromised node ignores every defensive layer.
+	if n.cfg.Mole != nil {
+		out, ok := n.cfg.Mole.Process(msg, n.cfg.Env, rng)
+		if !ok {
+			n.moleDropped++
+			return packet.Message{}, DroppedByMole
+		}
+		n.noteTx(out)
+		return out, Forwarded
+	}
+	if n.cfg.Blacklisted != nil && n.cfg.Blacklisted(prev) {
+		n.quarDropped++
+		return packet.Message{}, DroppedQuarantine
+	}
+	if n.sup != nil && n.sup.Duplicate(msg.Report) {
+		n.dupDropped++
+		return packet.Message{}, DroppedDuplicate
+	}
+	if bogus && n.cfg.FilterDetectProb > 0 && rng.Float64() < n.cfg.FilterDetectProb {
+		n.filterDropped++
+		return packet.Message{}, DroppedFiltered
+	}
+	out := n.cfg.Scheme.Mark(n.cfg.ID, n.cfg.Key, msg, rng)
+	n.noteTx(out)
+	return out, Forwarded
+}
+
+// noteTx accounts a transmission. Callers hold n.mu.
+func (n *Node) noteTx(msg packet.Message) {
+	n.forwarded++
+	if n.cfg.Energy != nil {
+		n.spentJ += n.cfg.Energy.TxJoulePerByte * float64(msg.WireSize()+n.cfg.Energy.FrameOverheadBytes)
+	}
+}
+
+// Stats reports the node's counters.
+type Stats struct {
+	Forwarded         int
+	DroppedDuplicate  int
+	DroppedFiltered   int
+	DroppedQuarantine int
+	DroppedByMole     int
+	EnergySpentJ      float64
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stats{
+		Forwarded:         n.forwarded,
+		DroppedDuplicate:  n.dupDropped,
+		DroppedFiltered:   n.filterDropped,
+		DroppedQuarantine: n.quarDropped,
+		DroppedByMole:     n.moleDropped,
+		EnergySpentJ:      n.spentJ,
+	}
+}

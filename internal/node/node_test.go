@@ -1,0 +1,154 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnm/internal/energy"
+	"pnm/internal/mac"
+	"pnm/internal/marking"
+	"pnm/internal/mole"
+	"pnm/internal/packet"
+)
+
+var testKS = mac.NewKeyStore([]byte("node-test"))
+
+func baseConfig(id packet.NodeID) Config {
+	return Config{ID: id, Key: testKS.Key(id), Scheme: marking.Nested{}}
+}
+
+func msgWithSeq(seq uint32) packet.Message {
+	return packet.Message{Report: packet.Report{Event: 1, Seq: seq}}
+}
+
+func TestHandleMarksAndForwards(t *testing.T) {
+	n := New(baseConfig(3))
+	rng := rand.New(rand.NewSource(1))
+	out, outcome := n.Handle(4, msgWithSeq(1), true, rng)
+	if outcome != Forwarded {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	if len(out.Marks) != 1 || out.Marks[0].ID != 3 {
+		t.Fatalf("marks = %+v", out.Marks)
+	}
+	if s := n.Stats(); s.Forwarded != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestHandleDuplicateSuppression(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.SuppressorCapacity = 8
+	n := New(cfg)
+	rng := rand.New(rand.NewSource(2))
+	if _, outcome := n.Handle(4, msgWithSeq(7), false, rng); outcome != Forwarded {
+		t.Fatalf("first copy: %v", outcome)
+	}
+	if _, outcome := n.Handle(4, msgWithSeq(7), false, rng); outcome != DroppedDuplicate {
+		t.Fatalf("replayed copy: %v", outcome)
+	}
+	if s := n.Stats(); s.DroppedDuplicate != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestHandleFiltering(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.FilterDetectProb = 1 // always detect
+	n := New(cfg)
+	rng := rand.New(rand.NewSource(3))
+	if _, outcome := n.Handle(4, msgWithSeq(1), true, rng); outcome != DroppedFiltered {
+		t.Fatalf("bogus report passed a perfect filter: %v", outcome)
+	}
+	// Genuine reports always pass the filter.
+	if _, outcome := n.Handle(4, msgWithSeq(2), false, rng); outcome != Forwarded {
+		t.Fatalf("genuine report filtered: %v", outcome)
+	}
+}
+
+func TestHandleFilteringIsProbabilistic(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.FilterDetectProb = 0.3
+	n := New(cfg)
+	rng := rand.New(rand.NewSource(4))
+	dropped := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		if _, outcome := n.Handle(4, msgWithSeq(uint32(i)), true, rng); outcome == DroppedFiltered {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / trials
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("filter rate = %.3f, want ~0.30", rate)
+	}
+}
+
+func TestHandleQuarantine(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.Blacklisted = func(id packet.NodeID) bool { return id == 9 }
+	n := New(cfg)
+	rng := rand.New(rand.NewSource(5))
+	if _, outcome := n.Handle(9, msgWithSeq(1), false, rng); outcome != DroppedQuarantine {
+		t.Fatalf("quarantined neighbor's traffic forwarded: %v", outcome)
+	}
+	if _, outcome := n.Handle(4, msgWithSeq(2), false, rng); outcome != Forwarded {
+		t.Fatalf("clean neighbor's traffic dropped: %v", outcome)
+	}
+}
+
+func TestMoleIgnoresDefensiveLayers(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.SuppressorCapacity = 8
+	cfg.FilterDetectProb = 1
+	cfg.Blacklisted = func(packet.NodeID) bool { return true }
+	cfg.Mole = &mole.Forwarder{ID: 3, Behavior: mole.MarkNever}
+	cfg.Env = &mole.Env{Scheme: marking.Nested{}, StolenKeys: map[packet.NodeID]mac.Key{}}
+	n := New(cfg)
+	rng := rand.New(rand.NewSource(6))
+	// Despite every defense being armed, the mole forwards bogus traffic
+	// from a blacklisted hop without marking.
+	out, outcome := n.Handle(9, msgWithSeq(1), true, rng)
+	if outcome != Forwarded || len(out.Marks) != 0 {
+		t.Fatalf("outcome = %v, marks = %v", outcome, out.Marks)
+	}
+}
+
+func TestMoleDropCounted(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.Mole = &mole.Forwarder{
+		ID:       3,
+		Behavior: mole.MarkNever,
+		Tampers:  []mole.Tamper{mole.SelectiveDrop{DropIfMarkedBy: []packet.NodeID{5}}},
+	}
+	cfg.Env = &mole.Env{Scheme: marking.Nested{}, StolenKeys: map[packet.NodeID]mac.Key{}}
+	n := New(cfg)
+	rng := rand.New(rand.NewSource(7))
+	msg := msgWithSeq(1)
+	msg = marking.Nested{}.Mark(5, testKS.Key(5), msg, rng)
+	if _, outcome := n.Handle(4, msg, true, rng); outcome != DroppedByMole {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	if s := n.Stats(); s.DroppedByMole != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	model := energy.Mica2()
+	cfg := baseConfig(3)
+	cfg.Energy = &model
+	n := New(cfg)
+	rng := rand.New(rand.NewSource(8))
+	n.Handle(4, msgWithSeq(1), false, rng)
+	s := n.Stats()
+	if s.EnergySpentJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	// rx of the bare report plus tx of report+mark, both with frame
+	// overhead.
+	rx := model.RxJoulePerByte * float64(packet.ReportLen+model.FrameOverheadBytes)
+	if s.EnergySpentJ <= rx {
+		t.Fatalf("energy %.9f J should exceed rx-only %.9f J", s.EnergySpentJ, rx)
+	}
+}

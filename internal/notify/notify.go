@@ -1,0 +1,146 @@
+// Package notify implements a probabilistic notification traceback in the
+// spirit of ICMP traceback (Bellovin's iTrace), the second alternative the
+// paper's §8 compares against: each forwarder, with small probability,
+// sends the sink a separate authenticated notification "I forwarded packet
+// d". The sink reconstructs paths from the notifications it collects.
+//
+// The comparison points are modeled: notifications are extra control
+// messages that travel the same (attacker-infested) path as the data, so a
+// colluding mole simply discards the notifications of its upstream nodes —
+// the signaling weakness PNM avoids by carrying marks inside the attack
+// traffic itself.
+package notify
+
+import (
+	"math/rand"
+	"sort"
+
+	"pnm/internal/mac"
+	"pnm/internal/packet"
+	"pnm/internal/spie"
+	"pnm/internal/topology"
+)
+
+// Notification is one "I forwarded this packet" control message.
+type Notification struct {
+	// Node is the notifying forwarder.
+	Node packet.NodeID
+	// Digest identifies the data packet.
+	Digest spie.Digest
+	// MAC authenticates the notification under the node's key.
+	MAC [packet.MACLen]byte
+}
+
+// notifyDomain separates notification MACs from marking MACs.
+var notifyDomain = []byte("pnm/notify/v1")
+
+// Sign computes a notification's MAC.
+func Sign(key mac.Key, node packet.NodeID, d spie.Digest) [packet.MACLen]byte {
+	buf := make([]byte, 0, len(notifyDomain)+2+len(d))
+	buf = append(buf, notifyDomain...)
+	buf = append(buf, byte(node>>8), byte(node))
+	buf = append(buf, d[:]...)
+	return mac.Sum(key, buf)
+}
+
+// System drives notification traceback on one network.
+type System struct {
+	topo *topology.Network
+	keys *mac.KeyStore
+	// NotifyProb is the per-forwarder notification probability.
+	NotifyProb float64
+	// DropAtMole, when set, makes the compromised forwarder discard every
+	// notification that transits it from upstream.
+	DropAtMole packet.NodeID
+
+	received map[spie.Digest][]Notification
+	sent     int
+}
+
+// NewSystem returns a notification traceback over the network.
+func NewSystem(topo *topology.Network, keys *mac.KeyStore, notifyProb float64) *System {
+	return &System{
+		topo:       topo,
+		keys:       keys,
+		NotifyProb: notifyProb,
+		received:   make(map[spie.Digest][]Notification),
+	}
+}
+
+// Forward simulates one data packet from src: each forwarder may emit a
+// notification, which then has to traverse the rest of the path itself.
+// A colluding mole at DropAtMole discards notifications from its upstream.
+func (s *System) Forward(src packet.NodeID, d spie.Digest, rng *rand.Rand) {
+	fwd := s.topo.Forwarders(src)
+	for i, hop := range fwd {
+		if rng.Float64() >= s.NotifyProb {
+			continue
+		}
+		s.sent++
+		// The notification travels hop -> ... -> sink. If the mole sits
+		// strictly downstream of the notifier, it eats the notification.
+		blocked := false
+		if s.DropAtMole != 0 {
+			for _, later := range fwd[i+1:] {
+				if later == s.DropAtMole {
+					blocked = true
+					break
+				}
+			}
+		}
+		if blocked {
+			continue
+		}
+		s.received[d] = append(s.received[d], Notification{
+			Node:   hop,
+			Digest: d,
+			MAC:    Sign(s.keys.Key(hop), hop, d),
+		})
+	}
+}
+
+// Sent returns the number of notification messages generated — the control
+// overhead, roughly n·q extra messages per data packet.
+func (s *System) Sent() int { return s.sent }
+
+// Received returns how many notifications arrived for d.
+func (s *System) Received(d spie.Digest) int { return len(s.received[d]) }
+
+// Trace reconstructs the path for a digest from verified notifications,
+// ordered most upstream first (by routing depth). Forged notifications
+// (bad MACs) are discarded.
+func (s *System) Trace(d spie.Digest) []packet.NodeID {
+	seen := make(map[packet.NodeID]bool)
+	var nodes []packet.NodeID
+	for _, n := range s.received[d] {
+		if seen[n.Node] {
+			continue
+		}
+		want := Sign(s.keys.Key(n.Node), n.Node, n.Digest)
+		if !mac.Equal(n.MAC, want) {
+			continue
+		}
+		seen[n.Node] = true
+		nodes = append(nodes, n.Node)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return s.topo.Depth(nodes[i]) > s.topo.Depth(nodes[j])
+	})
+	return nodes
+}
+
+// MostUpstream returns the deepest notifying node across all digests — the
+// traceback's source estimate — and false when nothing was received.
+func (s *System) MostUpstream() (packet.NodeID, bool) {
+	best := packet.NodeID(0)
+	found := false
+	for d := range s.received {
+		for _, id := range s.Trace(d) {
+			if !found || s.topo.Depth(id) > s.topo.Depth(best) {
+				best, found = id, true
+			}
+			break // Trace is sorted most upstream first
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,116 @@
+package notify
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnm/internal/mac"
+	"pnm/internal/packet"
+	"pnm/internal/spie"
+	"pnm/internal/topology"
+)
+
+func setup(t *testing.T, n int) (*topology.Network, *mac.KeyStore) {
+	t.Helper()
+	topo, err := topology.NewChain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, mac.NewKeyStore([]byte("notify-test"))
+}
+
+func TestCleanTracebackFindsUpstream(t *testing.T) {
+	topo, keys := setup(t, 10)
+	s := NewSystem(topo, keys, 0.3)
+	rng := rand.New(rand.NewSource(1))
+	src := packet.NodeID(10)
+	for i := 0; i < 100; i++ {
+		d := spie.DigestOf(packet.Report{Event: 1, Seq: uint32(i)})
+		s.Forward(src, d, rng)
+	}
+	up, ok := s.MostUpstream()
+	if !ok {
+		t.Fatal("no notifications received")
+	}
+	// With 100 packets at q=0.3, the most upstream forwarder (node 9)
+	// notifies essentially surely.
+	if up != 9 {
+		t.Fatalf("most upstream = %v, want V9", up)
+	}
+	if s.Sent() == 0 {
+		t.Fatal("overhead not counted")
+	}
+}
+
+func TestMoleEatsUpstreamNotifications(t *testing.T) {
+	topo, keys := setup(t, 10)
+	s := NewSystem(topo, keys, 0.3)
+	s.DropAtMole = 5 // colluding forwarder in the middle
+	rng := rand.New(rand.NewSource(2))
+	src := packet.NodeID(10)
+	for i := 0; i < 200; i++ {
+		d := spie.DigestOf(packet.Report{Event: 2, Seq: uint32(i)})
+		s.Forward(src, d, rng)
+	}
+	up, ok := s.MostUpstream()
+	if !ok {
+		t.Fatal("no notifications received")
+	}
+	// Everything upstream of the mole (nodes 9..6) is silenced: the sink's
+	// estimate collapses to the mole itself or below — it can never see
+	// past it, and unlike PNM it has no tamper evidence that anything was
+	// suppressed.
+	if topo.Depth(up) > topo.Depth(5) {
+		t.Fatalf("most upstream = %v, but the mole at V5 should have eaten deeper notifications", up)
+	}
+}
+
+func TestForgedNotificationsRejected(t *testing.T) {
+	topo, keys := setup(t, 5)
+	s := NewSystem(topo, keys, 1)
+	d := spie.DigestOf(packet.Report{Event: 3})
+	s.received[d] = append(s.received[d], Notification{Node: 2, Digest: d}) // zero MAC
+	if got := s.Trace(d); len(got) != 0 {
+		t.Fatalf("forged notification accepted: %v", got)
+	}
+}
+
+func TestTraceOrdersUpstreamFirst(t *testing.T) {
+	topo, keys := setup(t, 6)
+	s := NewSystem(topo, keys, 1) // every forwarder notifies
+	rng := rand.New(rand.NewSource(3))
+	d := spie.DigestOf(packet.Report{Event: 4})
+	s.Forward(6, d, rng)
+	got := s.Trace(d)
+	if len(got) != 5 {
+		t.Fatalf("trace = %v, want 5 notifiers", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if topo.Depth(got[i]) > topo.Depth(got[i-1]) {
+			t.Fatalf("trace not ordered upstream-first: %v", got)
+		}
+	}
+}
+
+func TestOverheadScalesWithProbability(t *testing.T) {
+	topo, keys := setup(t, 10)
+	rng := rand.New(rand.NewSource(4))
+	low := NewSystem(topo, keys, 0.1)
+	high := NewSystem(topo, keys, 0.9)
+	for i := 0; i < 200; i++ {
+		d := spie.DigestOf(packet.Report{Event: 5, Seq: uint32(i)})
+		low.Forward(10, d, rng)
+		high.Forward(10, d, rng)
+	}
+	if low.Sent() >= high.Sent() {
+		t.Fatalf("overhead: low=%d, high=%d", low.Sent(), high.Sent())
+	}
+}
+
+func TestMostUpstreamEmpty(t *testing.T) {
+	topo, keys := setup(t, 4)
+	s := NewSystem(topo, keys, 0.5)
+	if _, ok := s.MostUpstream(); ok {
+		t.Fatal("want no estimate without notifications")
+	}
+}

@@ -1,0 +1,217 @@
+// Package packet defines the wire format shared by every marking scheme:
+// sensing reports, per-hop marks, and the framed messages that carry them
+// from a source node to the sink.
+//
+// The format follows the paper's notation: a report M = E|L|T is forwarded
+// over a chain of nodes, each of which may append a mark m_i. A mark carries
+// either a plaintext node ID (basic nested marking, AMS, PPM) or an
+// anonymous per-message ID (PNM), plus a truncated MAC. The byte encoding is
+// deterministic so that nested MACs — which cover the entire encoded message
+// received from the previous hop — are well defined.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a sensor node. The sink reserves ID 0.
+type NodeID uint16
+
+// SinkID is the well-known identifier of the sink.
+const SinkID NodeID = 0
+
+// String renders the node ID as in the paper's figures ("V7").
+func (id NodeID) String() string {
+	if id == SinkID {
+		return "sink"
+	}
+	return fmt.Sprintf("V%d", uint16(id))
+}
+
+// Wire-format sizes in bytes.
+const (
+	// MACLen is the truncated MAC carried by each mark. Eight bytes keeps
+	// per-mark overhead sensor-friendly while leaving forgery probability
+	// at 2^-64 per attempt.
+	MACLen = 8
+	// AnonIDLen is the truncated anonymous ID used by PNM marks. Collisions
+	// across a few thousand nodes are possible and handled by the sink.
+	AnonIDLen = 4
+	// ReportLen is the fixed encoded size of a Report.
+	ReportLen = 4 + 4 + 8 + 4
+	// markHeaderLen is the per-mark flag byte.
+	markHeaderLen = 1
+	// plainMarkLen / anonMarkLen are the encoded sizes of the two mark kinds.
+	plainMarkLen = markHeaderLen + 2 + MACLen
+	anonMarkLen  = markHeaderLen + AnonIDLen + MACLen
+)
+
+// Report is one sensing report M = E|L|T. Seq makes bogus reports
+// non-redundant (duplicate copies are suppressed en route, so an injecting
+// mole must vary content) and supports the replay defense.
+type Report struct {
+	Event     uint32
+	Location  uint32
+	Timestamp uint64
+	Seq       uint32
+}
+
+// Encode appends the fixed-size encoding of r to dst and returns the result.
+func (r Report) Encode(dst []byte) []byte {
+	var buf [ReportLen]byte
+	binary.BigEndian.PutUint32(buf[0:], r.Event)
+	binary.BigEndian.PutUint32(buf[4:], r.Location)
+	binary.BigEndian.PutUint64(buf[8:], r.Timestamp)
+	binary.BigEndian.PutUint32(buf[16:], r.Seq)
+	return append(dst, buf[:]...)
+}
+
+// DecodeReport parses a Report from the front of b.
+func DecodeReport(b []byte) (Report, error) {
+	if len(b) < ReportLen {
+		return Report{}, fmt.Errorf("packet: report truncated: %d bytes", len(b))
+	}
+	return Report{
+		Event:     binary.BigEndian.Uint32(b[0:]),
+		Location:  binary.BigEndian.Uint32(b[4:]),
+		Timestamp: binary.BigEndian.Uint64(b[8:]),
+		Seq:       binary.BigEndian.Uint32(b[16:]),
+	}, nil
+}
+
+// Mark is one per-hop mark m_i. Exactly one of the two identity forms is
+// meaningful: plaintext ID when Anonymous is false, AnonID when true.
+type Mark struct {
+	// ID is the plaintext node ID for non-anonymous schemes.
+	ID NodeID
+	// AnonID is the per-message anonymous ID i' = H'_ki(M|i) used by PNM.
+	AnonID [AnonIDLen]byte
+	// MAC authenticates the mark. Schemes differ in what it covers: nothing
+	// (PPM), the report and ID only (AMS), or the entire upstream message
+	// (nested marking and PNM).
+	MAC [MACLen]byte
+	// Anonymous selects the identity form.
+	Anonymous bool
+}
+
+// EncodedLen returns the mark's wire size.
+func (m Mark) EncodedLen() int {
+	if m.Anonymous {
+		return anonMarkLen
+	}
+	return plainMarkLen
+}
+
+// Encode appends the mark's encoding to dst and returns the result.
+func (m Mark) Encode(dst []byte) []byte {
+	if m.Anonymous {
+		dst = append(dst, 1)
+		dst = append(dst, m.AnonID[:]...)
+	} else {
+		dst = append(dst, 0)
+		var id [2]byte
+		binary.BigEndian.PutUint16(id[:], uint16(m.ID))
+		dst = append(dst, id[:]...)
+	}
+	return append(dst, m.MAC[:]...)
+}
+
+// errTruncatedMark reports a mark that does not fit in the remaining bytes.
+var errTruncatedMark = errors.New("packet: mark truncated")
+
+// decodeMark parses one mark from the front of b and returns it with the
+// number of bytes consumed.
+func decodeMark(b []byte) (Mark, int, error) {
+	if len(b) < markHeaderLen {
+		return Mark{}, 0, errTruncatedMark
+	}
+	var m Mark
+	switch b[0] {
+	case 0:
+		if len(b) < plainMarkLen {
+			return Mark{}, 0, errTruncatedMark
+		}
+		m.ID = NodeID(binary.BigEndian.Uint16(b[1:]))
+		copy(m.MAC[:], b[3:3+MACLen])
+		return m, plainMarkLen, nil
+	case 1:
+		if len(b) < anonMarkLen {
+			return Mark{}, 0, errTruncatedMark
+		}
+		m.Anonymous = true
+		copy(m.AnonID[:], b[1:1+AnonIDLen])
+		copy(m.MAC[:], b[1+AnonIDLen:1+AnonIDLen+MACLen])
+		return m, anonMarkLen, nil
+	default:
+		return Mark{}, 0, fmt.Errorf("packet: unknown mark kind %d", b[0])
+	}
+}
+
+// Message is a report plus the marks accumulated on its way to the sink.
+// Marks appear in forwarding order: Marks[0] is the most upstream mark.
+type Message struct {
+	Report Report
+	Marks  []Mark
+}
+
+// Clone returns a deep copy, so that moles can tamper with a copy without
+// aliasing the original's mark slice.
+func (m Message) Clone() Message {
+	out := Message{Report: m.Report}
+	if len(m.Marks) > 0 {
+		out.Marks = make([]Mark, len(m.Marks))
+		copy(out.Marks, m.Marks)
+	}
+	return out
+}
+
+// WireSize returns the encoded size in bytes, used by the energy model and
+// the overhead experiments.
+func (m Message) WireSize() int {
+	n := ReportLen
+	for _, mk := range m.Marks {
+		n += mk.EncodedLen()
+	}
+	return n
+}
+
+// Encode appends the full message encoding to dst and returns the result.
+func (m Message) Encode(dst []byte) []byte {
+	dst = m.Report.Encode(dst)
+	for _, mk := range m.Marks {
+		dst = mk.Encode(dst)
+	}
+	return dst
+}
+
+// EncodePrefix appends the encoding of the report and the first k marks.
+// This is exactly the byte string "M_{i-1}" that the k-th marking node
+// received from its previous hop, i.e. what a nested MAC must cover.
+func (m Message) EncodePrefix(dst []byte, k int) []byte {
+	dst = m.Report.Encode(dst)
+	for _, mk := range m.Marks[:k] {
+		dst = mk.Encode(dst)
+	}
+	return dst
+}
+
+// Decode parses a full message. It rejects trailing garbage.
+func Decode(b []byte) (Message, error) {
+	rep, err := DecodeReport(b)
+	if err != nil {
+		return Message{}, err
+	}
+	msg := Message{Report: rep}
+	rest := b[ReportLen:]
+	for len(rest) > 0 {
+		mk, n, err := decodeMark(rest)
+		if err != nil {
+			return Message{}, err
+		}
+		msg.Marks = append(msg.Marks, mk)
+		rest = rest[n:]
+	}
+	return msg, nil
+}

@@ -1,0 +1,176 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	r := Report{Event: 1, Location: 2, Timestamp: 3, Seq: 4}
+	b := r.Encode(nil)
+	if len(b) != ReportLen {
+		t.Fatalf("encoded length = %d, want %d", len(b), ReportLen)
+	}
+	got, err := DecodeReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip = %+v, want %+v", got, r)
+	}
+}
+
+func TestDecodeReportTruncated(t *testing.T) {
+	if _, err := DecodeReport(make([]byte, ReportLen-1)); err == nil {
+		t.Fatal("want error for truncated report")
+	}
+}
+
+func TestMarkRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		mark Mark
+	}{
+		{name: "plain", mark: Mark{ID: 42, MAC: [MACLen]byte{1, 2, 3}}},
+		{name: "anonymous", mark: Mark{Anonymous: true, AnonID: [AnonIDLen]byte{9, 8, 7, 6}, MAC: [MACLen]byte{5}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := tt.mark.Encode(nil)
+			if len(b) != tt.mark.EncodedLen() {
+				t.Fatalf("encoded length = %d, want %d", len(b), tt.mark.EncodedLen())
+			}
+			got, n, err := decodeMark(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(b) {
+				t.Fatalf("consumed %d bytes, want %d", n, len(b))
+			}
+			if got != tt.mark {
+				t.Fatalf("round trip = %+v, want %+v", got, tt.mark)
+			}
+		})
+	}
+}
+
+func TestDecodeMarkErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "unknown kind", give: []byte{7, 0, 0}},
+		{name: "short plain", give: make([]byte, plainMarkLen-1)},
+		{name: "short anon", give: append([]byte{1}, make([]byte, anonMarkLen-2)...)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := decodeMark(tt.give); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+// randomMessage builds an arbitrary valid message for property tests.
+func randomMessage(rng *rand.Rand) Message {
+	msg := Message{Report: Report{
+		Event:     rng.Uint32(),
+		Location:  rng.Uint32(),
+		Timestamp: rng.Uint64(),
+		Seq:       rng.Uint32(),
+	}}
+	n := rng.Intn(8)
+	for i := 0; i < n; i++ {
+		var mk Mark
+		if rng.Intn(2) == 0 {
+			mk.Anonymous = true
+			rng.Read(mk.AnonID[:])
+		} else {
+			mk.ID = NodeID(rng.Intn(1 << 16))
+		}
+		rng.Read(mk.MAC[:])
+		msg.Marks = append(msg.Marks, mk)
+	}
+	return msg
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		msg := randomMessage(rng)
+		got, err := Decode(msg.Encode(nil))
+		if err != nil {
+			return false
+		}
+		if len(got.Marks) == 0 && len(msg.Marks) == 0 {
+			return got.Report == msg.Report
+		}
+		return reflect.DeepEqual(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		msg := randomMessage(rng)
+		if got, want := msg.WireSize(), len(msg.Encode(nil)); got != want {
+			t.Fatalf("WireSize = %d, encoded = %d", got, want)
+		}
+	}
+}
+
+func TestEncodePrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	msg := randomMessage(rng)
+	for len(msg.Marks) < 3 {
+		msg = randomMessage(rng)
+	}
+	full := msg.Encode(nil)
+	for k := 0; k <= len(msg.Marks); k++ {
+		prefix := msg.EncodePrefix(nil, k)
+		if !bytes.HasPrefix(full, prefix) {
+			t.Fatalf("prefix k=%d is not a prefix of the full encoding", k)
+		}
+		sub := Message{Report: msg.Report, Marks: msg.Marks[:k]}
+		if !bytes.Equal(prefix, sub.Encode(nil)) {
+			t.Fatalf("prefix k=%d differs from encoding of truncated message", k)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	msg := Message{
+		Report: Report{Event: 1},
+		Marks:  []Mark{{ID: 1}, {ID: 2}},
+	}
+	cp := msg.Clone()
+	cp.Marks[0].ID = 99
+	if msg.Marks[0].ID != 1 {
+		t.Fatal("Clone shares mark storage with the original")
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	msg := Message{Report: Report{Event: 1}}
+	b := append(msg.Encode(nil), 0xFF, 0x01)
+	if _, err := Decode(b); err == nil {
+		t.Fatal("want error for trailing garbage")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := SinkID.String(); got != "sink" {
+		t.Fatalf("SinkID.String() = %q", got)
+	}
+	if got := NodeID(7).String(); got != "V7" {
+		t.Fatalf("NodeID(7).String() = %q", got)
+	}
+}

@@ -1,0 +1,156 @@
+// Package replay implements the defenses §7 sketches against replay
+// attacks, where a source mole re-injects past legitimate reports that
+// already carry valid marks: per-node duplicate suppression of recently
+// forwarded reports, and sink-side one-time sequence-number windows.
+package replay
+
+import (
+	"crypto/sha256"
+
+	"pnm/internal/packet"
+)
+
+// digest is a compact report fingerprint for the duplicate cache.
+type digest [8]byte
+
+// fingerprint hashes a report's content.
+func fingerprint(rep packet.Report) digest {
+	sum := sha256.Sum256(rep.Encode(nil))
+	var d digest
+	copy(d[:], sum[:])
+	return d
+}
+
+// Suppressor is a forwarding node's duplicate-suppression cache: a bounded
+// FIFO set of recently seen report fingerprints. Replayed copies of a
+// report the node forwarded recently are dropped en route, exactly as
+// legitimate duplicate suppression already does in sensor networks.
+type Suppressor struct {
+	capacity int
+	seen     map[digest]bool
+	order    []digest
+	next     int
+}
+
+// NewSuppressor returns a cache remembering the last capacity reports.
+func NewSuppressor(capacity int) *Suppressor {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Suppressor{
+		capacity: capacity,
+		seen:     make(map[digest]bool, capacity),
+		order:    make([]digest, 0, capacity),
+	}
+}
+
+// Duplicate reports whether rep was seen recently, recording it if not.
+func (s *Suppressor) Duplicate(rep packet.Report) bool {
+	d := fingerprint(rep)
+	if s.seen[d] {
+		return true
+	}
+	if len(s.order) < s.capacity {
+		s.order = append(s.order, d)
+	} else {
+		delete(s.seen, s.order[s.next])
+		s.order[s.next] = d
+		s.next = (s.next + 1) % s.capacity
+	}
+	s.seen[d] = true
+	return false
+}
+
+// Len returns the number of cached fingerprints.
+func (s *Suppressor) Len() int { return len(s.order) }
+
+// SeqWindow is the sink-side one-time sequence-number check: each source's
+// sequence numbers are accepted at most once within a sliding window, so a
+// replayed report — which necessarily reuses an old sequence number — is
+// rejected even if it evaded en-route suppression.
+type SeqWindow struct {
+	window  uint32
+	sources map[packet.NodeID]*seqState
+}
+
+// seqState tracks one source's high watermark and a bitmap of recently
+// accepted sequence numbers below it.
+type seqState struct {
+	high uint32
+	// bits marks accepted seqs in (high-window, high].
+	bits []uint64
+}
+
+// NewSeqWindow returns a checker accepting each (source, seq) pair once,
+// and rejecting seqs more than window behind the source's newest.
+func NewSeqWindow(window uint32) *SeqWindow {
+	if window < 1 {
+		window = 1
+	}
+	return &SeqWindow{window: window, sources: make(map[packet.NodeID]*seqState)}
+}
+
+// Accept reports whether seq is fresh for src, recording it if so.
+func (w *SeqWindow) Accept(src packet.NodeID, seq uint32) bool {
+	st := w.sources[src]
+	if st == nil {
+		st = &seqState{bits: make([]uint64, (w.window+63)/64)}
+		w.sources[src] = st
+		st.high = seq
+		st.setBit(0)
+		return true
+	}
+	switch {
+	case seq > st.high:
+		shift := seq - st.high
+		st.shiftUp(shift, w.window)
+		st.high = seq
+		st.setBit(0)
+		return true
+	case st.high-seq >= w.window:
+		return false // too old to distinguish from a replay
+	default:
+		off := st.high - seq
+		if st.getBit(off) {
+			return false // exact replay
+		}
+		st.setBit(off)
+		return true
+	}
+}
+
+// setBit marks offset off behind the high watermark as accepted.
+func (st *seqState) setBit(off uint32) {
+	st.bits[off/64] |= 1 << (off % 64)
+}
+
+// getBit reads the accept bit at offset off.
+func (st *seqState) getBit(off uint32) bool {
+	return st.bits[off/64]&(1<<(off%64)) != 0
+}
+
+// shiftUp slides the bitmap when the high watermark advances by n.
+func (st *seqState) shiftUp(n, window uint32) {
+	if n >= window {
+		for i := range st.bits {
+			st.bits[i] = 0
+		}
+		return
+	}
+	// Shift the bitmap left by n bits (toward higher offsets).
+	words := int(n / 64)
+	rem := n % 64
+	size := len(st.bits)
+	out := make([]uint64, size)
+	for i := size - 1; i >= 0; i-- {
+		var v uint64
+		if i-words >= 0 {
+			v = st.bits[i-words] << rem
+			if rem > 0 && i-words-1 >= 0 {
+				v |= st.bits[i-words-1] >> (64 - rem)
+			}
+		}
+		out[i] = v
+	}
+	copy(st.bits, out)
+}

@@ -1,0 +1,129 @@
+package replay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pnm/internal/packet"
+)
+
+func rep(seq uint32) packet.Report {
+	return packet.Report{Event: 7, Location: 1, Timestamp: 100, Seq: seq}
+}
+
+func TestSuppressorDetectsDuplicates(t *testing.T) {
+	s := NewSuppressor(16)
+	if s.Duplicate(rep(1)) {
+		t.Fatal("first sighting flagged as duplicate")
+	}
+	if !s.Duplicate(rep(1)) {
+		t.Fatal("replayed report not flagged")
+	}
+	if s.Duplicate(rep(2)) {
+		t.Fatal("distinct report flagged")
+	}
+}
+
+func TestSuppressorEvictsFIFO(t *testing.T) {
+	s := NewSuppressor(4)
+	for seq := uint32(1); seq <= 5; seq++ {
+		s.Duplicate(rep(seq))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	// Seq 1 was evicted, so its replay now passes (bounded memory is the
+	// reason en-route suppression is only a partial defense).
+	if s.Duplicate(rep(1)) {
+		t.Fatal("evicted report still flagged")
+	}
+	// Seq 3 is still cached.
+	if !s.Duplicate(rep(3)) {
+		t.Fatal("cached report not flagged")
+	}
+}
+
+func TestSuppressorMinCapacity(t *testing.T) {
+	s := NewSuppressor(0)
+	s.Duplicate(rep(1))
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSeqWindowAcceptOnce(t *testing.T) {
+	w := NewSeqWindow(64)
+	if !w.Accept(5, 10) {
+		t.Fatal("fresh seq rejected")
+	}
+	if w.Accept(5, 10) {
+		t.Fatal("replayed seq accepted")
+	}
+	if !w.Accept(5, 11) {
+		t.Fatal("next seq rejected")
+	}
+	// Different sources are independent.
+	if !w.Accept(6, 10) {
+		t.Fatal("other source's seq rejected")
+	}
+}
+
+func TestSeqWindowOutOfOrderWithinWindow(t *testing.T) {
+	w := NewSeqWindow(32)
+	if !w.Accept(1, 100) {
+		t.Fatal("seq 100 rejected")
+	}
+	if !w.Accept(1, 95) {
+		t.Fatal("late-but-fresh seq rejected")
+	}
+	if w.Accept(1, 95) {
+		t.Fatal("replay of late seq accepted")
+	}
+}
+
+func TestSeqWindowRejectsTooOld(t *testing.T) {
+	w := NewSeqWindow(16)
+	w.Accept(1, 100)
+	if w.Accept(1, 84) {
+		t.Fatal("seq older than the window accepted")
+	}
+	if !w.Accept(1, 85) {
+		t.Fatal("seq exactly at window edge rejected")
+	}
+}
+
+func TestSeqWindowLargeJumpClearsBitmap(t *testing.T) {
+	w := NewSeqWindow(16)
+	w.Accept(1, 10)
+	if !w.Accept(1, 1000) {
+		t.Fatal("jump rejected")
+	}
+	if w.Accept(1, 1000) {
+		t.Fatal("replay after jump accepted")
+	}
+	if !w.Accept(1, 999) {
+		t.Fatal("fresh seq just below new watermark rejected")
+	}
+}
+
+func TestSeqWindowNeverAcceptsTwiceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewSeqWindow(64)
+		accepted := make(map[uint32]bool)
+		for i := 0; i < 500; i++ {
+			seq := uint32(rng.Intn(200))
+			if w.Accept(9, seq) {
+				if accepted[seq] {
+					return false // double accept: replay got through
+				}
+				accepted[seq] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

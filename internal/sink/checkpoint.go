@@ -1,0 +1,112 @@
+package sink
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pnm/internal/packet"
+	"pnm/internal/topology"
+)
+
+// Checkpointing: the sink can persist its route-reconstruction state and
+// resume traceback after a restart without re-observing past packets. The
+// format stores the collected identities and the direct relations implied
+// by the transitive closure (the closure itself is rebuilt on load, which
+// keeps the format independent of the in-memory representation).
+
+// checkpointMagic guards against feeding arbitrary bytes to Restore.
+var checkpointMagic = [4]byte{'P', 'N', 'M', '1'}
+
+// Checkpoint serializes the order matrix.
+func (o *Order) Checkpoint() []byte {
+	buf := append([]byte(nil), checkpointMagic[:]...)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(o.ids)))
+	buf = append(buf, tmp[:]...)
+	for _, id := range o.ids {
+		var idb [2]byte
+		binary.BigEndian.PutUint16(idb[:], uint16(id))
+		buf = append(buf, idb[:]...)
+	}
+	// Count and emit reachability pairs (the closure; restoring re-adds
+	// them as edges, which regenerates an identical closure).
+	pairs := 0
+	for i := range o.ids {
+		pairs += o.desc[i].count()
+	}
+	binary.BigEndian.PutUint32(tmp[:], uint32(pairs))
+	buf = append(buf, tmp[:]...)
+	for i := range o.ids {
+		o.desc[i].forEach(func(j int) {
+			var pair [4]byte
+			binary.BigEndian.PutUint16(pair[:2], uint16(o.ids[i]))
+			binary.BigEndian.PutUint16(pair[2:], uint16(o.ids[j]))
+			buf = append(buf, pair[:]...)
+		})
+	}
+	return buf
+}
+
+// RestoreOrder rebuilds an order matrix from a checkpoint.
+func RestoreOrder(data []byte) (*Order, error) {
+	if len(data) < 8 || [4]byte(data[:4]) != checkpointMagic {
+		return nil, fmt.Errorf("sink: not a traceback checkpoint")
+	}
+	rest := data[4:]
+	n := int(binary.BigEndian.Uint32(rest[:4]))
+	rest = rest[4:]
+	if len(rest) < n*2+4 {
+		return nil, fmt.Errorf("sink: checkpoint truncated in identity table")
+	}
+	o := NewOrder()
+	for i := 0; i < n; i++ {
+		o.index(packet.NodeID(binary.BigEndian.Uint16(rest[i*2:])))
+	}
+	rest = rest[n*2:]
+	pairs := int(binary.BigEndian.Uint32(rest[:4]))
+	rest = rest[4:]
+	if len(rest) != pairs*4 {
+		return nil, fmt.Errorf("sink: checkpoint has %d bytes of pairs, want %d", len(rest), pairs*4)
+	}
+	for p := 0; p < pairs; p++ {
+		u := packet.NodeID(binary.BigEndian.Uint16(rest[p*4:]))
+		v := packet.NodeID(binary.BigEndian.Uint16(rest[p*4+2:]))
+		ui, ok := o.idx[u]
+		if !ok {
+			return nil, fmt.Errorf("sink: checkpoint pair references unknown node %v", u)
+		}
+		vi, ok := o.idx[v]
+		if !ok {
+			return nil, fmt.Errorf("sink: checkpoint pair references unknown node %v", v)
+		}
+		o.addEdge(ui, vi)
+	}
+	return o, nil
+}
+
+// Checkpoint serializes the tracker's reconstruction state (packet count
+// plus the order matrix). The verifier and topology are configuration, not
+// state, and are supplied again on restore.
+func (t *Tracker) Checkpoint() []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(t.packets))
+	return append(tmp[:], t.order.Checkpoint()...)
+}
+
+// RestoreTracker rebuilds a tracker from a checkpoint, reattaching the
+// verifier and (optional) topology.
+func RestoreTracker(data []byte, verifier Verifier, topo *topology.Network) (*Tracker, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("sink: checkpoint too short")
+	}
+	order, err := RestoreOrder(data[8:])
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		verifier: verifier,
+		order:    order,
+		topo:     topo,
+		packets:  int(binary.BigEndian.Uint64(data[:8])),
+	}, nil
+}

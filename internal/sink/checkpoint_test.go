@@ -1,0 +1,142 @@
+package sink
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pnm/internal/marking"
+	"pnm/internal/packet"
+	"pnm/internal/topology"
+)
+
+func TestOrderCheckpointRoundTrip(t *testing.T) {
+	o := NewOrder()
+	o.AddChain([]packet.NodeID{5, 3, 1})
+	o.AddChain([]packet.NodeID{4, 3})
+	o.AddChain([]packet.NodeID{9})
+
+	restored, err := RestoreOrder(o.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.SeenCount() != o.SeenCount() {
+		t.Fatalf("SeenCount = %d, want %d", restored.SeenCount(), o.SeenCount())
+	}
+	for _, a := range o.Seen() {
+		for _, b := range o.Seen() {
+			if o.Upstream(a, b) != restored.Upstream(a, b) {
+				t.Fatalf("relation %v->%v lost in round trip", a, b)
+			}
+		}
+	}
+	if got, want := restored.Minimals(), o.Minimals(); len(got) != len(want) {
+		t.Fatalf("Minimals = %v, want %v", got, want)
+	}
+}
+
+func TestOrderCheckpointRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	f := func(seed int64) bool {
+		runRng := rand.New(rand.NewSource(seed))
+		o := NewOrder()
+		for c := 0; c < 8; c++ {
+			n := 1 + runRng.Intn(5)
+			chain := make([]packet.NodeID, n)
+			for i := range chain {
+				chain[i] = packet.NodeID(1 + runRng.Intn(20))
+			}
+			o.AddChain(chain)
+		}
+		restored, err := RestoreOrder(o.Checkpoint())
+		if err != nil {
+			return false
+		}
+		if restored.TotallyOrdered() != o.TotallyOrdered() {
+			return false
+		}
+		if restored.HasCycle() != o.HasCycle() {
+			return false
+		}
+		for _, a := range o.Seen() {
+			for _, b := range o.Seen() {
+				if o.Upstream(a, b) != restored.Upstream(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreOrderRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("nope"),
+		[]byte("PNM1\x00\x00\x00\x05"), // truncated identities
+		append([]byte("PNM1\x00\x00\x00\x00"), 0, 0, 0, 9), // pair count with no pairs
+	}
+	for i, c := range cases {
+		if _, err := RestoreOrder(c); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestTrackerCheckpointResumesTraceback(t *testing.T) {
+	// Observe half the traffic, checkpoint, restore into a fresh tracker,
+	// observe the rest: the verdict must match a tracker that saw it all.
+	topo, err := topology.NewChain(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := marking.PNM{P: 0.3}
+	resolver := NewExhaustiveResolver(testKS, topo.Nodes())
+	newVerifier := func() Verifier {
+		v, err := NewVerifier(scheme, testKS, topo.NumNodes(), resolver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	full := NewTracker(newVerifier(), topo)
+	half := NewTracker(newVerifier(), topo)
+
+	deliver := func(tr ...*Tracker) {
+		msg := packet.Message{Report: testReport(rng.Uint32())}
+		for _, id := range topo.Forwarders(11) {
+			msg = scheme.Mark(id, testKS.Key(id), msg, rng)
+		}
+		for _, x := range tr {
+			x.Observe(msg)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		deliver(full, half)
+	}
+	restored, err := RestoreTracker(half.Checkpoint(), newVerifier(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Packets() != 100 {
+		t.Fatalf("restored packets = %d", restored.Packets())
+	}
+	for i := 0; i < 100; i++ {
+		deliver(full, restored)
+	}
+	vf, vr := full.Verdict(), restored.Verdict()
+	if vf.Stop != vr.Stop || vf.Identified != vr.Identified {
+		t.Fatalf("restored verdict %+v differs from continuous %+v", vr, vf)
+	}
+}
+
+func TestRestoreTrackerRejectsShortData(t *testing.T) {
+	if _, err := RestoreTracker([]byte{1, 2}, nil, nil); err == nil {
+		t.Fatal("short data accepted")
+	}
+}

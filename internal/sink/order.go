@@ -1,0 +1,236 @@
+package sink
+
+import (
+	"sort"
+
+	"pnm/internal/packet"
+)
+
+// Order is the paper's relative-order matrix M: it accumulates "Vi is
+// upstream of Vj" relations observed across packets and maintains their
+// transitive closure incrementally, so the sink can reconstruct the
+// forwarding path, detect identity-swapping loops, and decide when the
+// source is unequivocally identified.
+type Order struct {
+	idx  map[packet.NodeID]int
+	ids  []packet.NodeID
+	desc []bitset // desc[i]: nodes strictly downstream of i (closure)
+	anc  []bitset // anc[i]: nodes strictly upstream of i (closure)
+}
+
+// NewOrder returns an empty order matrix.
+func NewOrder() *Order {
+	return &Order{idx: make(map[packet.NodeID]int)}
+}
+
+// index returns the dense index for id, registering it on first sight.
+func (o *Order) index(id packet.NodeID) int {
+	if i, ok := o.idx[id]; ok {
+		return i
+	}
+	i := len(o.ids)
+	o.idx[id] = i
+	o.ids = append(o.ids, id)
+	o.desc = append(o.desc, newBitset(len(o.ids)))
+	o.anc = append(o.anc, newBitset(len(o.ids)))
+	return i
+}
+
+// AddChain records one packet's accepted marker identities in forwarding
+// order (most upstream first). Consecutive pairs become direct relations;
+// the closure recovers the rest, exactly as transitivity does in the paper.
+func (o *Order) AddChain(chain []packet.NodeID) {
+	for _, id := range chain {
+		o.index(id)
+	}
+	for k := 0; k+1 < len(chain); k++ {
+		o.addEdge(o.idx[chain[k]], o.idx[chain[k+1]])
+	}
+}
+
+// addEdge inserts u -> v and updates the closure: every ancestor of u
+// (plus u) now reaches every descendant of v (plus v).
+func (o *Order) addEdge(u, v int) {
+	if u == v || o.desc[u].has(v) {
+		return
+	}
+	var ups []int
+	o.anc[u].forEach(func(i int) { ups = append(ups, i) })
+	ups = append(ups, u)
+
+	var downs []int
+	o.desc[v].forEach(func(i int) { downs = append(downs, i) })
+	downs = append(downs, v)
+
+	for _, a := range ups {
+		for _, b := range downs {
+			if a == b {
+				continue // self-loops stay implicit; cycles show as mutual reachability
+			}
+			o.desc[a].set(b)
+			o.anc[b].set(a)
+		}
+	}
+}
+
+// SeenCount returns how many distinct marker identities were collected —
+// the quantity Figure 5 tracks.
+func (o *Order) SeenCount() int { return len(o.ids) }
+
+// Seen returns the collected identities, sorted.
+func (o *Order) Seen() []packet.NodeID {
+	out := make([]packet.NodeID, len(o.ids))
+	copy(out, o.ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasSeen reports whether id's mark has been collected.
+func (o *Order) HasSeen(id packet.NodeID) bool {
+	_, ok := o.idx[id]
+	return ok
+}
+
+// Upstream reports whether a is known (transitively) upstream of b.
+func (o *Order) Upstream(a, b packet.NodeID) bool {
+	i, ok := o.idx[a]
+	if !ok {
+		return false
+	}
+	j, ok := o.idx[b]
+	if !ok {
+		return false
+	}
+	return o.desc[i].has(j)
+}
+
+// Minimals returns the nodes with no known upstream — the candidate source
+// set. Loop members reach each other, so a loop never contributes minimals.
+func (o *Order) Minimals() []packet.NodeID {
+	var out []packet.NodeID
+	for i, id := range o.ids {
+		if o.anc[i].count() == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotallyOrdered reports whether every pair of collected nodes is
+// comparable, i.e. the reconstructed route is a single chain with no
+// ambiguity left.
+func (o *Order) TotallyOrdered() bool {
+	n := len(o.ids)
+	// In a strict total order the comparability count sums to n(n-1)/2
+	// distinct ordered pairs. Cycles double-count pairs, so check pairwise.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !o.desc[i].has(j) && !o.desc[j].has(i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HasCycle reports whether any mutual reachability exists — the signature
+// of the identity-swapping attack.
+func (o *Order) HasCycle() bool {
+	for i := range o.ids {
+		cyclic := false
+		o.desc[i].forEach(func(j int) {
+			if o.desc[j].has(i) {
+				cyclic = true
+			}
+		})
+		if cyclic {
+			return true
+		}
+	}
+	return false
+}
+
+// Loops returns the sets of mutually-reachable nodes (each a loop created
+// by identity swapping), sorted by their smallest member.
+func (o *Order) Loops() [][]packet.NodeID {
+	n := len(o.ids)
+	visited := make([]bool, n)
+	var loops [][]packet.NodeID
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		var members []packet.NodeID
+		o.desc[i].forEach(func(j int) {
+			if o.desc[j].has(i) {
+				if !visited[j] {
+					visited[j] = true
+					members = append(members, o.ids[j])
+				}
+			}
+		})
+		if len(members) > 0 {
+			// i itself is in the loop iff it reaches itself through a peer.
+			if !visited[i] {
+				visited[i] = true
+				members = append(members, o.ids[i])
+			}
+			sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+			loops = append(loops, members)
+		}
+	}
+	sort.Slice(loops, func(a, b int) bool { return loops[a][0] < loops[b][0] })
+	return loops
+}
+
+// Route returns the reconstructed forwarding path, most upstream first,
+// when the collected nodes are totally ordered and loop-free; ok is false
+// while the order is still ambiguous. This is the "complete route" §4.2's
+// algorithm converges to.
+func (o *Order) Route() ([]packet.NodeID, bool) {
+	if o.HasCycle() || !o.TotallyOrdered() {
+		return nil, false
+	}
+	route := make([]packet.NodeID, len(o.ids))
+	copy(route, o.ids)
+	sort.Slice(route, func(a, b int) bool {
+		i, j := o.idx[route[a]], o.idx[route[b]]
+		return o.desc[i].has(j)
+	})
+	return route, true
+}
+
+// MostUpstreamAfterLoop returns the most upstream node on the line from a
+// loop to the sink: among non-loop nodes downstream of loop members, the
+// one with no non-loop upstream outside the loop. This is where the loop
+// intersects the line (Figure 2) and where a mole must sit within one hop.
+func (o *Order) MostUpstreamAfterLoop(loop []packet.NodeID) (packet.NodeID, bool) {
+	inLoop := make(map[packet.NodeID]bool, len(loop))
+	for _, id := range loop {
+		inLoop[id] = true
+	}
+	best := packet.NodeID(0)
+	bestOutside := -1
+	for i, id := range o.ids {
+		if inLoop[id] {
+			continue
+		}
+		touchesLoop := false
+		outside := 0
+		o.anc[i].forEach(func(j int) {
+			if inLoop[o.ids[j]] {
+				touchesLoop = true
+			} else {
+				outside++
+			}
+		})
+		if !touchesLoop {
+			continue
+		}
+		if bestOutside == -1 || outside < bestOutside {
+			best, bestOutside = id, outside
+		}
+	}
+	return best, bestOutside != -1
+}

@@ -1,0 +1,235 @@
+package sink
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pnm/internal/packet"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	var b bitset
+	b.set(3)
+	b.set(64)
+	b.set(200)
+	if !b.has(3) || !b.has(64) || !b.has(200) {
+		t.Fatal("set bits not readable")
+	}
+	if b.has(4) || b.has(1000) {
+		t.Fatal("unset bits read as set")
+	}
+	if got := b.count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	var got []int
+	b.forEach(func(i int) { got = append(got, i) })
+	if len(got) != 3 || got[0] != 3 || got[1] != 64 || got[2] != 200 {
+		t.Fatalf("forEach = %v", got)
+	}
+}
+
+func TestBitsetOr(t *testing.T) {
+	var a, b bitset
+	a.set(1)
+	b.set(100)
+	a.or(b)
+	if !a.has(1) || !a.has(100) {
+		t.Fatal("or lost bits")
+	}
+}
+
+func TestOrderSingleChain(t *testing.T) {
+	o := NewOrder()
+	o.AddChain([]packet.NodeID{1, 2, 3})
+	if !o.Upstream(1, 3) {
+		t.Fatal("closure missed 1 -> 3")
+	}
+	if o.Upstream(3, 1) {
+		t.Fatal("spurious 3 -> 1")
+	}
+	if got := o.Minimals(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Minimals = %v, want [V1]", got)
+	}
+	if !o.TotallyOrdered() {
+		t.Fatal("single chain not totally ordered")
+	}
+	if o.HasCycle() {
+		t.Fatal("single chain reported a cycle")
+	}
+}
+
+func TestOrderMergesPartialChains(t *testing.T) {
+	// Probabilistic marking: different packets sample different nodes.
+	o := NewOrder()
+	o.AddChain([]packet.NodeID{1, 3})
+	o.AddChain([]packet.NodeID{2, 3})
+	if o.TotallyOrdered() {
+		t.Fatal("1 and 2 are not yet comparable")
+	}
+	if got := o.Minimals(); len(got) != 2 {
+		t.Fatalf("Minimals = %v, want two candidates", got)
+	}
+	o.AddChain([]packet.NodeID{1, 2})
+	if !o.TotallyOrdered() {
+		t.Fatal("route should now be totally ordered")
+	}
+	if got := o.Minimals(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Minimals = %v, want [V1]", got)
+	}
+	if !o.Upstream(1, 3) {
+		t.Fatal("transitivity missed 1 -> 3")
+	}
+}
+
+func TestOrderCycleDetection(t *testing.T) {
+	o := NewOrder()
+	// Identity swapping: V5 appears both before and after V7.
+	o.AddChain([]packet.NodeID{5, 6, 7})
+	o.AddChain([]packet.NodeID{7, 5})
+	if !o.HasCycle() {
+		t.Fatal("cycle not detected")
+	}
+	loops := o.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("Loops = %v, want one loop", loops)
+	}
+	if got := loops[0]; len(got) != 3 || got[0] != 5 || got[1] != 6 || got[2] != 7 {
+		t.Fatalf("loop members = %v, want [V5 V6 V7]", got)
+	}
+	if got := o.Minimals(); len(got) != 0 {
+		t.Fatalf("Minimals = %v, want none inside a loop", got)
+	}
+}
+
+func TestOrderMostUpstreamAfterLoop(t *testing.T) {
+	o := NewOrder()
+	// Loop {5,6,7}; line 8 -> 9 toward the sink (Figure 2's shape).
+	o.AddChain([]packet.NodeID{5, 6, 7, 8, 9})
+	o.AddChain([]packet.NodeID{7, 5})
+	loops := o.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("Loops = %v", loops)
+	}
+	stop, ok := o.MostUpstreamAfterLoop(loops[0])
+	if !ok || stop != 8 {
+		t.Fatalf("MostUpstreamAfterLoop = %v, %v; want V8", stop, ok)
+	}
+}
+
+func TestOrderMostUpstreamAfterLoopAllInLoop(t *testing.T) {
+	o := NewOrder()
+	o.AddChain([]packet.NodeID{1, 2})
+	o.AddChain([]packet.NodeID{2, 1})
+	loops := o.Loops()
+	if _, ok := o.MostUpstreamAfterLoop(loops[0]); ok {
+		t.Fatal("want no line node when everything is in the loop")
+	}
+}
+
+func TestOrderSeen(t *testing.T) {
+	o := NewOrder()
+	o.AddChain([]packet.NodeID{4})
+	o.AddChain([]packet.NodeID{2, 4})
+	if got := o.SeenCount(); got != 2 {
+		t.Fatalf("SeenCount = %d, want 2", got)
+	}
+	if !o.HasSeen(4) || o.HasSeen(9) {
+		t.Fatal("HasSeen wrong")
+	}
+	seen := o.Seen()
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 4 {
+		t.Fatalf("Seen = %v", seen)
+	}
+}
+
+func TestOrderSingletonChainAddsNodeWithoutRelations(t *testing.T) {
+	o := NewOrder()
+	o.AddChain([]packet.NodeID{3})
+	if got := o.SeenCount(); got != 1 {
+		t.Fatalf("SeenCount = %d, want 1", got)
+	}
+	if got := o.Minimals(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Minimals = %v", got)
+	}
+	if !o.TotallyOrdered() {
+		t.Fatal("one node is trivially totally ordered")
+	}
+}
+
+func TestOrderClosureMatchesBruteForceProperty(t *testing.T) {
+	// Compare the incremental closure against a brute-force Floyd-Warshall
+	// over random chain sets.
+	rng := rand.New(rand.NewSource(9))
+	f := func() bool {
+		const n = 10
+		o := NewOrder()
+		direct := make([][]bool, n+1)
+		for i := range direct {
+			direct[i] = make([]bool, n+1)
+		}
+		for c := 0; c < 6; c++ {
+			ln := 1 + rng.Intn(4)
+			chain := make([]packet.NodeID, ln)
+			for i := range chain {
+				chain[i] = packet.NodeID(1 + rng.Intn(n))
+			}
+			o.AddChain(chain)
+			for i := 0; i+1 < ln; i++ {
+				if chain[i] != chain[i+1] {
+					direct[chain[i]][chain[i+1]] = true
+				}
+			}
+		}
+		// Brute-force closure.
+		reach := make([][]bool, n+1)
+		for i := range reach {
+			reach[i] = make([]bool, n+1)
+			copy(reach[i], direct[i])
+		}
+		for k := 1; k <= n; k++ {
+			for i := 1; i <= n; i++ {
+				for j := 1; j <= n; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if i == j {
+					continue
+				}
+				want := reach[i][j]
+				got := o.Upstream(packet.NodeID(i), packet.NodeID(j))
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderRoute(t *testing.T) {
+	o := NewOrder()
+	o.AddChain([]packet.NodeID{5, 3})
+	o.AddChain([]packet.NodeID{2, 1})
+	if _, ok := o.Route(); ok {
+		t.Fatal("partial order should not yield a route yet")
+	}
+	o.AddChain([]packet.NodeID{3, 2})
+	route, ok := o.Route()
+	if !ok || len(route) != 4 || route[0] != 5 || route[1] != 3 || route[2] != 2 || route[3] != 1 {
+		t.Fatalf("route = %v, ok = %v", route, ok)
+	}
+	// A loop kills the route.
+	o.AddChain([]packet.NodeID{1, 5})
+	if _, ok := o.Route(); ok {
+		t.Fatal("looped order should not yield a route")
+	}
+}

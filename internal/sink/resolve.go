@@ -1,0 +1,119 @@
+package sink
+
+import (
+	"pnm/internal/mac"
+	"pnm/internal/packet"
+	"pnm/internal/topology"
+)
+
+// Resolver maps an anonymous mark ID back to candidate real node IDs for a
+// given report. Anonymous IDs are truncated, so several nodes can collide;
+// the verifier disambiguates by checking the MAC under each candidate key.
+type Resolver interface {
+	// Resolve returns the candidate real IDs for anon under report. prev is
+	// the already-verified node one mark downstream (the hint the paper's
+	// §7 O(d) optimization uses); havePrev is false for the last mark in a
+	// packet.
+	Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool) []packet.NodeID
+}
+
+// ExhaustiveResolver implements the paper's base method: for each distinct
+// report, compute the anonymous ID of every node in the network and build a
+// lookup table. The table is cached per report because the sink verifies a
+// packet's marks back to front against the same report.
+type ExhaustiveResolver struct {
+	keys  *mac.KeyStore
+	nodes []packet.NodeID
+
+	lastReport packet.Report
+	haveTable  bool
+	table      map[[packet.AnonIDLen]byte][]packet.NodeID
+}
+
+// NewExhaustiveResolver returns a resolver over the given node universe.
+func NewExhaustiveResolver(keys *mac.KeyStore, nodes []packet.NodeID) *ExhaustiveResolver {
+	ns := make([]packet.NodeID, len(nodes))
+	copy(ns, nodes)
+	return &ExhaustiveResolver{keys: keys, nodes: ns}
+}
+
+// Resolve implements Resolver. The prev hint is ignored.
+func (r *ExhaustiveResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, _ packet.NodeID, _ bool) []packet.NodeID {
+	if !r.haveTable || r.lastReport != report {
+		r.buildTable(report)
+	}
+	return r.table[anon]
+}
+
+// buildTable computes the full anonymous-ID table for one report — the
+// operation whose feasibility §4.2 argues from hash throughput.
+func (r *ExhaustiveResolver) buildTable(report packet.Report) {
+	table := make(map[[packet.AnonIDLen]byte][]packet.NodeID, len(r.nodes))
+	for _, id := range r.nodes {
+		a := mac.AnonID(r.keys.Key(id), report, id)
+		table[a] = append(table[a], id)
+	}
+	r.lastReport = report
+	r.haveTable = true
+	r.table = table
+}
+
+// TopologyResolver implements the §7 optimization: the sink knows the
+// routing topology, so instead of hashing the whole network per report it
+// searches only the nodes that could have produced the mark.
+//
+// Two facts bound the search. First, the marker of a hinted mark must lie
+// strictly upstream of the previously verified node — inside that node's
+// routing subtree — so the resolver walks the subtree outward from the
+// hint and stops at the first match. Second, for the packet's most
+// downstream (unhinted) mark, the marker is typically within ~1/p hops of
+// the sink, so a breadth-first expansion from the sink finds it after
+// touching a small, depth-ordered fraction of the network. The paper
+// states the idea for one-hop neighbors (exact for deterministic nested
+// marking); with probabilistic marking the gap between consecutive markers
+// averages 1/p hops and the search expands accordingly.
+type TopologyResolver struct {
+	keys *mac.KeyStore
+	topo *topology.Network
+	// children is the routing tree's downlink adjacency, built once.
+	children map[packet.NodeID][]packet.NodeID
+}
+
+// NewTopologyResolver returns a resolver that exploits the known topology.
+func NewTopologyResolver(keys *mac.KeyStore, topo *topology.Network) *TopologyResolver {
+	children := make(map[packet.NodeID][]packet.NodeID, topo.NumNodes())
+	for _, id := range topo.Nodes() {
+		parent := topo.Parent(id)
+		children[parent] = append(children[parent], id)
+	}
+	return &TopologyResolver{keys: keys, topo: topo, children: children}
+}
+
+// Resolve implements Resolver.
+func (r *TopologyResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool) []packet.NodeID {
+	start := prev
+	if !havePrev {
+		// The most downstream mark: search the whole routing tree outward
+		// from the sink; the marker usually sits within ~1/p hops.
+		start = packet.SinkID
+	}
+	// BFS through the routing subtree of start. Matching nodes at the same
+	// depth are returned together so truncated-anon-ID collisions within a
+	// level stay disambiguated by the caller's MAC check.
+	frontier := r.children[start]
+	for len(frontier) > 0 {
+		var out []packet.NodeID
+		var next []packet.NodeID
+		for _, v := range frontier {
+			if mac.AnonID(r.keys.Key(v), report, v) == anon {
+				out = append(out, v)
+			}
+			next = append(next, r.children[v]...)
+		}
+		if len(out) > 0 {
+			return out
+		}
+		frontier = next
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Package sink implements the sink side of traceback: mark verification,
+// anonymous-ID resolution, route reconstruction via the relative-order
+// matrix, identity-swap loop detection, and mole localization to a one-hop
+// neighborhood.
+package sink
+
+import (
+	"pnm/internal/packet"
+	"pnm/internal/topology"
+)
+
+// Verdict is the sink's current traceback conclusion.
+type Verdict struct {
+	// HasStop reports whether any mark has been accepted at all. Without
+	// marks the sink only knows its own last-hop neighbor forwarded the
+	// traffic.
+	HasStop bool
+	// Stop is the node with the last verified MAC (the most upstream node
+	// of the reconstructed route, or the loop-line intersection when a
+	// loop exists). A mole — source or colluder — lies within Stop's
+	// one-hop neighborhood, including Stop itself.
+	Stop packet.NodeID
+	// Suspects is Stop's one-hop neighborhood (Stop first) when the
+	// tracker knows the topology; otherwise just {Stop}.
+	Suspects []packet.NodeID
+	// Loop lists the members of an identity-swapping loop, if detected.
+	Loop []packet.NodeID
+	// Identified reports the unequivocal-identification predicate of
+	// Figures 6 and 7: the reconstructed route is loop-free and the
+	// candidate source set (the order's minimal elements) has exactly one
+	// member.
+	Identified bool
+}
+
+// Tracker accumulates verification results across packets and produces
+// verdicts. It implements the route reconstruction algorithm of §4.2.
+type Tracker struct {
+	verifier Verifier
+	order    *Order
+	topo     *topology.Network // optional; enables neighborhood suspects
+	packets  int
+}
+
+// NewTracker returns a tracker using the given verifier. topo may be nil.
+func NewTracker(verifier Verifier, topo *topology.Network) *Tracker {
+	return &Tracker{verifier: verifier, order: NewOrder(), topo: topo}
+}
+
+// Observe verifies one received packet and folds it into the route
+// reconstruction. It returns the packet's verification result.
+func (t *Tracker) Observe(msg packet.Message) Result {
+	res := t.verifier.Verify(msg)
+	t.order.AddChain(res.Chain)
+	t.packets++
+	return res
+}
+
+// Packets returns how many packets have been observed.
+func (t *Tracker) Packets() int { return t.packets }
+
+// Order exposes the accumulated order matrix (read-only use).
+func (t *Tracker) Order() *Order { return t.order }
+
+// Verdict computes the sink's current conclusion.
+func (t *Tracker) Verdict() Verdict {
+	var v Verdict
+	if t.order.SeenCount() == 0 {
+		return v
+	}
+	if loops := t.order.Loops(); len(loops) > 0 {
+		// Identity swapping: trace to where the loop meets the line.
+		v.Loop = loops[0]
+		if stop, ok := t.order.MostUpstreamAfterLoop(loops[0]); ok {
+			v.HasStop = true
+			v.Stop = stop
+		} else {
+			// Everything collected is inside the loop; any member pins
+			// the colluders' neighborhood. Use the loop's first member.
+			v.HasStop = true
+			v.Stop = loops[0][0]
+		}
+		v.Suspects = t.suspects(v.Stop)
+		return v
+	}
+	minimals := t.order.Minimals()
+	if len(minimals) == 0 {
+		return v
+	}
+	v.HasStop = true
+	v.Stop = minimals[0]
+	v.Suspects = t.suspects(v.Stop)
+	// Unequivocal identification: the candidate source set — the minimal
+	// elements of the reconstructed order — has shrunk to a single node.
+	// Every other collected node has a known upstream, so only one node
+	// can be the origin.
+	v.Identified = len(minimals) == 1
+	return v
+}
+
+// Candidates returns the current candidate source set — the minimal
+// elements of the reconstructed order. With several source moles injecting
+// simultaneously (the paper's future-work case), each contributes one
+// candidate; the isolation campaign quarantines them one at a time.
+func (t *Tracker) Candidates() []packet.NodeID {
+	return t.order.Minimals()
+}
+
+// suspects returns stop plus its one-hop neighbors.
+func (t *Tracker) suspects(stop packet.NodeID) []packet.NodeID {
+	if t.topo == nil {
+		return []packet.NodeID{stop}
+	}
+	return t.topo.Neighborhood(stop)
+}
+
+// TraceSinglePacket runs the basic nested-marking traceback of §4.1 on one
+// packet: verify backwards, stop at the last valid MAC.
+func TraceSinglePacket(verifier Verifier, topo *topology.Network, msg packet.Message) Verdict {
+	res := verifier.Verify(msg)
+	var v Verdict
+	if len(res.Chain) == 0 {
+		return v
+	}
+	v.HasStop = true
+	v.Stop = res.Chain[0]
+	if topo != nil {
+		v.Suspects = topo.Neighborhood(v.Stop)
+	} else {
+		v.Suspects = []packet.NodeID{v.Stop}
+	}
+	v.Identified = !res.Stopped
+	return v
+}
+
+// SuspectsContain reports whether the verdict's suspected neighborhood
+// contains any of the given moles — the one-hop-precision property the
+// security experiments assert.
+func (v Verdict) SuspectsContain(moles ...packet.NodeID) bool {
+	for _, s := range v.Suspects {
+		for _, m := range moles {
+			if s == m {
+				return true
+			}
+		}
+	}
+	return false
+}

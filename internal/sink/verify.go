@@ -1,0 +1,163 @@
+package sink
+
+import (
+	"fmt"
+
+	"pnm/internal/mac"
+	"pnm/internal/marking"
+	"pnm/internal/packet"
+)
+
+// Result is the outcome of verifying one packet's marks.
+type Result struct {
+	// Chain lists the accepted marker identities in forwarding order (most
+	// upstream first). For nested schemes this is the maximal valid suffix
+	// of the marks; for AMS it is every individually valid mark; for PPM it
+	// is every mark at face value.
+	Chain []packet.NodeID
+	// Stopped reports that verification hit an invalid mark while walking
+	// backwards (nested schemes only): the traceback for this packet
+	// stopped at Chain[0].
+	Stopped bool
+}
+
+// Verifier turns a received message into the marker chain the sink accepts.
+type Verifier interface {
+	// Name identifies the verifier.
+	Name() string
+	// Verify checks msg's marks per the deployed scheme's rules.
+	Verify(msg packet.Message) Result
+}
+
+// NewVerifier returns the verifier matching a marking scheme. numNodes
+// bounds the valid plaintext ID range; resolver is required for PNM.
+func NewVerifier(s marking.Scheme, keys *mac.KeyStore, numNodes int, resolver Resolver) (Verifier, error) {
+	switch s.(type) {
+	case marking.Nested, marking.NaiveProbNested:
+		return &NestedVerifier{keys: keys, numNodes: numNodes}, nil
+	case marking.PNM:
+		if resolver == nil {
+			return nil, fmt.Errorf("sink: PNM verification needs a resolver")
+		}
+		return &NestedVerifier{keys: keys, numNodes: numNodes, resolver: resolver}, nil
+	case marking.AMS:
+		return &AMSVerifier{keys: keys, numNodes: numNodes}, nil
+	case marking.PPM:
+		return &PPMVerifier{numNodes: numNodes}, nil
+	case marking.None:
+		return &PPMVerifier{numNodes: numNodes}, nil
+	default:
+		return nil, fmt.Errorf("sink: no verifier for scheme %q", s.Name())
+	}
+}
+
+// NestedVerifier verifies nested marks backwards: starting from the last
+// mark it checks each MAC over the exact prefix the marking node received.
+// The first failure stops the walk — everything upstream of a tampered mark
+// is unverifiable, which is precisely the property that pins tampering to
+// the mole's neighborhood.
+type NestedVerifier struct {
+	keys     *mac.KeyStore
+	numNodes int
+	resolver Resolver // nil for plaintext-ID nested schemes
+}
+
+// Name implements Verifier.
+func (v *NestedVerifier) Name() string { return "nested" }
+
+// Verify implements Verifier.
+func (v *NestedVerifier) Verify(msg packet.Message) Result {
+	var chain []packet.NodeID
+	prev := packet.SinkID
+	havePrev := false
+	for k := len(msg.Marks) - 1; k >= 0; k-- {
+		id, ok := v.verifyMark(msg, k, prev, havePrev)
+		if !ok {
+			return Result{Chain: reverse(chain), Stopped: true}
+		}
+		chain = append(chain, id)
+		prev, havePrev = id, true
+	}
+	return Result{Chain: reverse(chain)}
+}
+
+// verifyMark checks the mark at position k and returns the marker's real ID.
+func (v *NestedVerifier) verifyMark(msg packet.Message, k int, prev packet.NodeID, havePrev bool) (packet.NodeID, bool) {
+	mk := msg.Marks[k]
+	if mk.Anonymous {
+		if v.resolver == nil {
+			return 0, false // anonymous mark under a plaintext scheme: invalid
+		}
+		for _, id := range v.resolver.Resolve(msg.Report, mk.AnonID, prev, havePrev) {
+			want := marking.NestedMACAnon(v.keys.Key(id), msg, k, mk.AnonID)
+			if mac.Equal(mk.MAC, want) {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	if mk.ID == packet.SinkID || int(mk.ID) > v.numNodes {
+		return 0, false
+	}
+	want := marking.NestedMACPlain(v.keys.Key(mk.ID), msg, k, mk.ID)
+	if !mac.Equal(mk.MAC, want) {
+		return 0, false
+	}
+	return mk.ID, true
+}
+
+// AMSVerifier verifies extended-AMS marks: each mark's MAC covers only the
+// report and the marker's ID, so marks are accepted or rejected
+// individually and the surviving ones keep packet order. Removal,
+// re-ordering or selective dropping of upstream marks goes undetected.
+type AMSVerifier struct {
+	keys     *mac.KeyStore
+	numNodes int
+}
+
+// Name implements Verifier.
+func (v *AMSVerifier) Name() string { return "ams" }
+
+// Verify implements Verifier.
+func (v *AMSVerifier) Verify(msg packet.Message) Result {
+	var chain []packet.NodeID
+	for _, mk := range msg.Marks {
+		if mk.Anonymous || mk.ID == packet.SinkID || int(mk.ID) > v.numNodes {
+			continue
+		}
+		want := marking.AMSMAC(v.keys.Key(mk.ID), msg.Report, mk.ID)
+		if mac.Equal(mk.MAC, want) {
+			chain = append(chain, mk.ID)
+		}
+	}
+	return Result{Chain: chain}
+}
+
+// PPMVerifier accepts plaintext marks at face value — the Internet
+// schemes' trust assumption, kept as the weakest baseline.
+type PPMVerifier struct {
+	numNodes int
+}
+
+// Name implements Verifier.
+func (v *PPMVerifier) Name() string { return "ppm" }
+
+// Verify implements Verifier.
+func (v *PPMVerifier) Verify(msg packet.Message) Result {
+	var chain []packet.NodeID
+	for _, mk := range msg.Marks {
+		if mk.Anonymous || mk.ID == packet.SinkID || int(mk.ID) > v.numNodes {
+			continue
+		}
+		chain = append(chain, mk.ID)
+	}
+	return Result{Chain: chain}
+}
+
+// reverse flips a chain collected back-to-front into forwarding order.
+func reverse(chain []packet.NodeID) []packet.NodeID {
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}

@@ -1,0 +1,74 @@
+package spie
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// Bloom is a fixed-size Bloom filter over packet digests, the data
+// structure hash-based logging traceback stores at each node.
+type Bloom struct {
+	bits     []uint64
+	m        uint32 // number of bits
+	k        uint32 // number of hash functions
+	inserted int
+}
+
+// NewBloom sizes a filter for the expected number of insertions and target
+// false-positive rate using the standard optima
+// m = -n ln(fp) / (ln 2)^2 and k = m/n ln 2.
+func NewBloom(expected int, falsePositiveRate float64) *Bloom {
+	if expected < 1 {
+		expected = 1
+	}
+	if falsePositiveRate <= 0 || falsePositiveRate >= 1 {
+		falsePositiveRate = 0.01
+	}
+	ln2 := math.Ln2
+	m := uint32(math.Ceil(-float64(expected) * math.Log(falsePositiveRate) / (ln2 * ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := uint32(math.Round(float64(m) / float64(expected) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// hashPair derives two independent 32-bit hashes for double hashing.
+func hashPair(data []byte) (uint32, uint32) {
+	sum := sha256.Sum256(data)
+	return binary.BigEndian.Uint32(sum[0:4]), binary.BigEndian.Uint32(sum[4:8]) | 1
+}
+
+// Add inserts data.
+func (b *Bloom) Add(data []byte) {
+	h1, h2 := hashPair(data)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + i*h2) % b.m
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+	b.inserted++
+}
+
+// Contains reports whether data may have been inserted (false positives
+// possible, false negatives impossible).
+func (b *Bloom) Contains(data []byte) bool {
+	h1, h2 := hashPair(data)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + i*h2) % b.m
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes returns the filter's memory footprint — the per-node storage
+// cost PNM avoids entirely.
+func (b *Bloom) SizeBytes() int { return len(b.bits) * 8 }
+
+// Inserted returns how many digests were added.
+func (b *Bloom) Inserted() int { return b.inserted }

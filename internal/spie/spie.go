@@ -1,0 +1,133 @@
+// Package spie implements a hash-based logging traceback in the spirit of
+// SPIE (Snoeren et al., SIGCOMM 2001), adapted to sensor networks — the
+// "logging" alternative the paper's §8 compares PNM against. Every node
+// stores digests of the packets it forwards in a Bloom filter; the sink
+// reconstructs a packet's path by querying, hop by hop, which neighbor of
+// the last known node remembers the digest.
+//
+// The comparison points the paper makes are modeled explicitly: logging
+// costs per-node memory (Bloom filter bytes) and per-traceback query
+// messages, both of which PNM avoids; and a compromised node can simply
+// lie when queried.
+package spie
+
+import (
+	"crypto/sha256"
+
+	"pnm/internal/packet"
+	"pnm/internal/topology"
+)
+
+// Digest fingerprints a packet for logging and queries.
+type Digest [16]byte
+
+// DigestOf hashes a report.
+func DigestOf(rep packet.Report) Digest {
+	sum := sha256.Sum256(rep.Encode(nil))
+	var d Digest
+	copy(d[:], sum[:])
+	return d
+}
+
+// System is the network-wide logging state plus query accounting.
+type System struct {
+	topo *topology.Network
+	logs map[packet.NodeID]*Bloom
+	// liars are compromised nodes that deny having forwarded anything.
+	liars map[packet.NodeID]bool
+	// expected and fp size each node's filter.
+	expected int
+	fp       float64
+
+	queries int
+}
+
+// NewSystem creates per-node logs sized for the expected number of
+// forwarded packets at the target false-positive rate.
+func NewSystem(topo *topology.Network, expectedPackets int, falsePositiveRate float64) *System {
+	return &System{
+		topo:     topo,
+		logs:     make(map[packet.NodeID]*Bloom),
+		liars:    make(map[packet.NodeID]bool),
+		expected: expectedPackets,
+		fp:       falsePositiveRate,
+	}
+}
+
+// SetLiar marks a node as compromised: it will deny every query.
+func (s *System) SetLiar(id packet.NodeID) { s.liars[id] = true }
+
+// log returns (allocating if needed) a node's filter.
+func (s *System) log(id packet.NodeID) *Bloom {
+	b := s.logs[id]
+	if b == nil {
+		b = NewBloom(s.expected, s.fp)
+		s.logs[id] = b
+	}
+	return b
+}
+
+// Record logs a packet injected by src at every forwarder on its path
+// (compromised forwarders log too — they cannot prove a negative later,
+// but lying is modeled at query time).
+func (s *System) Record(src packet.NodeID, d Digest) {
+	for _, hop := range s.topo.Forwarders(src) {
+		s.log(hop).Add(d[:])
+	}
+}
+
+// Query asks one node whether it forwarded d, counting the control
+// message. Liars always answer no.
+func (s *System) Query(id packet.NodeID, d Digest) bool {
+	s.queries++
+	if s.liars[id] {
+		return false
+	}
+	b := s.logs[id]
+	return b != nil && b.Contains(d[:])
+}
+
+// Queries returns the number of control messages sent so far — the
+// signaling cost PNM does not pay.
+func (s *System) Queries() int { return s.queries }
+
+// MemoryBytes returns the total log memory across all nodes.
+func (s *System) MemoryBytes() int {
+	total := 0
+	for _, b := range s.logs {
+		total += b.SizeBytes()
+	}
+	return total
+}
+
+// Trace walks backwards from the sink: at each step it queries the
+// neighbors of the current node (excluding already-visited ones) for the
+// digest and follows a positive answer. It returns the reconstructed path
+// sink-outwards (most downstream first) and the node where the trace
+// stopped — under a lying mole the walk halts at the liar's downstream
+// neighbor, localizing it only as precisely as PNM does, after spending
+// per-node memory and O(path · degree) queries.
+func (s *System) Trace(d Digest) (path []packet.NodeID, stop packet.NodeID) {
+	visited := map[packet.NodeID]bool{packet.SinkID: true}
+	cur := packet.SinkID
+	for {
+		var next packet.NodeID
+		found := false
+		for _, nb := range s.topo.Neighbors(cur) {
+			if visited[nb] || nb == packet.SinkID {
+				continue
+			}
+			if s.Query(nb, d) {
+				next = nb
+				found = true
+				break
+			}
+		}
+		if !found {
+			return path, cur
+		}
+		visited[next] = true
+		path = append(path, next)
+		cur = next
+	}
+}

@@ -1,0 +1,160 @@
+package spie
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"pnm/internal/packet"
+	"pnm/internal/topology"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		var d [8]byte
+		binary.BigEndian.PutUint64(d[:], uint64(i))
+		b.Add(d[:])
+	}
+	for i := 0; i < 1000; i++ {
+		var d [8]byte
+		binary.BigEndian.PutUint64(d[:], uint64(i))
+		if !b.Contains(d[:]) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+	if b.Inserted() != 1000 {
+		t.Fatalf("Inserted = %d", b.Inserted())
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		var d [8]byte
+		binary.BigEndian.PutUint64(d[:], uint64(i))
+		b.Add(d[:])
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		var d [8]byte
+		binary.BigEndian.PutUint64(d[:], uint64(1_000_000+i))
+		if b.Contains(d[:]) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false-positive rate = %.4f, want <= ~0.01", rate)
+	}
+}
+
+func TestBloomDefaults(t *testing.T) {
+	b := NewBloom(0, 2.0) // nonsense inputs fall back to sane defaults
+	b.Add([]byte("x"))
+	if !b.Contains([]byte("x")) {
+		t.Fatal("default-sized filter broken")
+	}
+	if b.SizeBytes() < 8 {
+		t.Fatalf("SizeBytes = %d", b.SizeBytes())
+	}
+}
+
+func TestTraceCleanPath(t *testing.T) {
+	topo, err := topology.NewChain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSystem(topo, 100, 0.001)
+	src := packet.NodeID(8)
+	d := DigestOf(packet.Report{Event: 1, Seq: 1})
+	s.Record(src, d)
+
+	path, stop := s.Trace(d)
+	// Forwarders of node 8 are 7..1; the trace walks 1,2,...,7 outward
+	// from the sink and stops at 7 (node 8 itself never logged: it is the
+	// injecting source).
+	if len(path) != 7 {
+		t.Fatalf("path = %v", path)
+	}
+	if stop != 7 {
+		t.Fatalf("stop = %v, want V7 (the source's first forwarder)", stop)
+	}
+	if s.Queries() == 0 {
+		t.Fatal("no control messages counted")
+	}
+}
+
+func TestTraceLyingMoleCreatesGap(t *testing.T) {
+	topo, err := topology.NewChain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSystem(topo, 100, 0.001)
+	src := packet.NodeID(8)
+	d := DigestOf(packet.Report{Event: 2, Seq: 2})
+	s.Record(src, d)
+	s.SetLiar(4) // compromised forwarder denies everything
+
+	path, stop := s.Trace(d)
+	// The walk reaches node 3 and stops: node 4 lies, so the liar is
+	// localized to the neighborhood of the stop node — the same precision
+	// PNM achieves without any per-node storage or query traffic.
+	if stop != 3 {
+		t.Fatalf("stop = %v, want V3 (downstream neighbor of the liar)", stop)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	topo, err := topology.NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSystem(topo, 1000, 0.01)
+	d := DigestOf(packet.Report{Event: 3, Seq: 3})
+	s.Record(5, d)
+	// Four forwarders logged; each filter costs memory.
+	if got := s.MemoryBytes(); got < 4*NewBloom(1000, 0.01).SizeBytes() {
+		t.Fatalf("MemoryBytes = %d, suspiciously small", got)
+	}
+}
+
+func TestTraceUnknownDigestStopsAtSink(t *testing.T) {
+	topo, err := topology.NewChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSystem(topo, 10, 0.01)
+	path, stop := s.Trace(DigestOf(packet.Report{Event: 9}))
+	if len(path) != 0 || stop != packet.SinkID {
+		t.Fatalf("path = %v, stop = %v", path, stop)
+	}
+}
+
+func TestTraceGeometricNetwork(t *testing.T) {
+	topo, err := topology.NewRandomGeometric(topology.GeometricConfig{
+		Nodes: 100, Side: 7, RadioRange: 1.5, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	s := NewSystem(topo, 500, 0.0001)
+	src := topo.DeepestNode()
+	d := DigestOf(packet.Report{Event: uint32(rng.Uint32()), Seq: 7})
+	s.Record(src, d)
+	path, stop := s.Trace(d)
+	fwd := topo.Forwarders(src)
+	if len(fwd) == 0 {
+		t.Skip("source adjacent to sink")
+	}
+	// The trace must stop at the most upstream forwarder (modulo Bloom
+	// false positives, which the tiny fp rate makes negligible here).
+	if stop != fwd[0] {
+		t.Fatalf("stop = %v, want %v (path %v)", stop, fwd[0], path)
+	}
+}

@@ -1,0 +1,248 @@
+// Package stats provides the small statistical and presentation helpers the
+// experiment harness shares: summaries with confidence intervals, series,
+// and plain-text table/plot rendering for the CLIs and benches.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// Percentile returns the q-th percentile (0..100) of xs using linear
+// interpolation.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary aggregates a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    xs[0],
+		Max:    xs[0],
+		P50:    Percentile(xs, 50),
+		P95:    Percentile(xs, 95),
+	}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Series is a named sequence of (X, Y) points, one experiment curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders rows of labeled columns as aligned plain text. The first
+// row is the header.
+type Table struct {
+	rows [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CSV renders one or more series sharing an X axis as CSV text with the
+// given X-column label. Series are matched point-by-point; shorter series
+// leave blanks.
+func CSV(xLabel string, series ...Series) string {
+	var b strings.Builder
+	b.WriteString(xLabel)
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	n := 0
+	for _, s := range series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		wroteX := false
+		for _, s := range series {
+			if i < len(s.X) {
+				if !wroteX {
+					fmt.Fprintf(&b, "%g", s.X[i])
+					wroteX = true
+				}
+				break
+			}
+		}
+		for _, s := range series {
+			b.WriteByte(',')
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%g", s.Y[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ASCIIPlot renders a single series as a crude terminal plot with the given
+// width and height in characters. It is deliberately simple — enough to see
+// a curve's shape in a CLI.
+func ASCIIPlot(s Series, width, height int) string {
+	if len(s.X) == 0 || width < 8 || height < 3 {
+		return "(empty)\n"
+	}
+	minX, maxX := s.X[0], s.X[0]
+	minY, maxY := s.Y[0], s.Y[0]
+	for i := range s.X {
+		minX = math.Min(minX, s.X[i])
+		maxX = math.Max(maxX, s.X[i])
+		minY = math.Min(minY, s.Y[i])
+		maxY = math.Max(maxY, s.Y[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range s.X {
+		c := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+		r := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [y: %.3g..%.3g, x: %.3g..%.3g]\n", s.Name, minY, maxY, minX, maxX)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}

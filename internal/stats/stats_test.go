@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev single = %g", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %g, want ~2.138", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.q); got != tt.want {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.q, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %g", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if !sort.Float64sAreSorted(xs) && (xs[0] != 3 || xs[1] != 1 || xs[2] != 2) {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("Summarize(nil) = %+v", z)
+	}
+}
+
+func TestCI95ShrinksWithSamples(t *testing.T) {
+	small := []float64{1, 5, 3, 2}
+	big := make([]float64, 0, 400)
+	for i := 0; i < 100; i++ {
+		big = append(big, small...)
+	}
+	if CI95(big) >= CI95(small) {
+		t.Fatal("CI95 did not shrink with more samples")
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("CI95 of one sample should be 0")
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+		}
+		m := Mean(xs)
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+		}
+		return m >= min-1e-9 && m <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesAdd(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if len(s.X) != 2 || s.Y[1] != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var tb Table
+	tb.AddRow("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("table header wrong:\n%s", out)
+	}
+	var empty Table
+	if empty.String() != "" {
+		t.Fatal("empty table should render empty")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}}
+	b := Series{Name: "b", X: []float64{1, 2}, Y: []float64{30, 40}}
+	out := CSV("x", a, b)
+	want := "x,a,b\n1,10,30\n2,20,40\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s := Series{Name: "curve", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}}
+	out := ASCIIPlot(s, 20, 5)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "curve") {
+		t.Fatalf("plot:\n%s", out)
+	}
+	if got := ASCIIPlot(Series{}, 20, 5); got != "(empty)\n" {
+		t.Fatalf("empty plot = %q", got)
+	}
+}

@@ -1,0 +1,113 @@
+// Package suspect implements the sink-side traffic triage the paper's §7
+// ("Background Traffic") sketches: legitimate reports co-exist with attack
+// traffic, and the sink must decide which packets to feed the traceback.
+// It identifies suspicious streams by the two signals the paper names —
+// traffic volume (a mole floods far above a sensor's natural report rate)
+// and content verification (events that fail an application-level check).
+//
+// Streams are keyed by the reports' claimed origin (the location field):
+// a flooding mole cannot spread its volume across many locations without
+// weakening its own injection, and constant-location floods stick out.
+package suspect
+
+import (
+	"sort"
+
+	"pnm/internal/packet"
+)
+
+// Classifier accumulates per-stream statistics over a sliding window of
+// observed reports and flags anomalous streams.
+type Classifier struct {
+	// WindowSize is the number of recent reports considered.
+	WindowSize int
+	// VolumeFactor flags a stream whose report count exceeds VolumeFactor
+	// times the median stream's count — a robust baseline a flooding
+	// stream cannot drag upward. Default 4.
+	VolumeFactor float64
+	// VerifyEvent, when non-nil, is the application-level content check:
+	// it returns false for reports whose claimed event fails verification
+	// (the paper's "verify whether the reported events do exist").
+	// Streams with failing reports are flagged regardless of volume.
+	VerifyEvent func(packet.Report) bool
+
+	window []uint32 // claimed origins, FIFO
+	next   int
+	counts map[uint32]int
+	failed map[uint32]bool
+}
+
+// NewClassifier returns a classifier over a window of the given size.
+func NewClassifier(windowSize int) *Classifier {
+	if windowSize < 1 {
+		windowSize = 1
+	}
+	return &Classifier{
+		WindowSize:   windowSize,
+		VolumeFactor: 4,
+		counts:       make(map[uint32]int),
+		failed:       make(map[uint32]bool),
+	}
+}
+
+// Observe folds one received report into the statistics.
+func (c *Classifier) Observe(rep packet.Report) {
+	loc := rep.Location
+	if len(c.window) < c.WindowSize {
+		c.window = append(c.window, loc)
+	} else {
+		old := c.window[c.next]
+		c.counts[old]--
+		if c.counts[old] <= 0 {
+			delete(c.counts, old)
+		}
+		c.window[c.next] = loc
+		c.next = (c.next + 1) % c.WindowSize
+	}
+	c.counts[loc]++
+	if c.VerifyEvent != nil && !c.VerifyEvent(rep) {
+		c.failed[loc] = true
+	}
+}
+
+// Streams returns the number of distinct origins in the window.
+func (c *Classifier) Streams() int { return len(c.counts) }
+
+// Suspicious reports whether the stream claiming origin loc is flagged.
+// Volume anomalies need at least two streams in the window: a lone stream
+// has no peer baseline.
+func (c *Classifier) Suspicious(loc uint32) bool {
+	if c.failed[loc] {
+		return true
+	}
+	if len(c.counts) < 2 {
+		return false
+	}
+	counts := make([]int, 0, len(c.counts))
+	for _, n := range c.counts {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	median := float64(counts[len(counts)/2])
+	if median < 1 {
+		median = 1
+	}
+	return float64(c.counts[loc]) > c.VolumeFactor*median
+}
+
+// SuspiciousStreams returns all flagged origins, sorted.
+func (c *Classifier) SuspiciousStreams() []uint32 {
+	var out []uint32
+	for loc := range c.counts {
+		if c.Suspicious(loc) {
+			out = append(out, loc)
+		}
+	}
+	for loc := range c.failed {
+		if _, counted := c.counts[loc]; !counted {
+			out = append(out, loc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

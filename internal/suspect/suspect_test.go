@@ -1,0 +1,122 @@
+package suspect
+
+import (
+	"testing"
+
+	"pnm/internal/packet"
+)
+
+func rep(loc uint32) packet.Report {
+	return packet.Report{Event: 1, Location: loc}
+}
+
+func TestVolumeAnomalyFlagged(t *testing.T) {
+	c := NewClassifier(100)
+	// Ten legitimate sensors report evenly; one mole floods.
+	for i := 0; i < 5; i++ {
+		for loc := uint32(1); loc <= 10; loc++ {
+			c.Observe(rep(loc))
+		}
+	}
+	for i := 0; i < 50; i++ {
+		c.Observe(rep(99))
+	}
+	if !c.Suspicious(99) {
+		t.Fatal("flooding stream not flagged")
+	}
+	for loc := uint32(1); loc <= 10; loc++ {
+		if c.Suspicious(loc) {
+			t.Fatalf("legitimate stream %d flagged", loc)
+		}
+	}
+	got := c.SuspiciousStreams()
+	if len(got) != 1 || got[0] != 99 {
+		t.Fatalf("SuspiciousStreams = %v", got)
+	}
+}
+
+func TestEvenTrafficNotFlagged(t *testing.T) {
+	c := NewClassifier(60)
+	for i := 0; i < 20; i++ {
+		for loc := uint32(1); loc <= 3; loc++ {
+			c.Observe(rep(loc))
+		}
+	}
+	for loc := uint32(1); loc <= 3; loc++ {
+		if c.Suspicious(loc) {
+			t.Fatalf("even stream %d flagged", loc)
+		}
+	}
+}
+
+func TestContentVerificationFlags(t *testing.T) {
+	c := NewClassifier(50)
+	c.VerifyEvent = func(r packet.Report) bool { return r.Event != 0xBAD }
+	c.Observe(packet.Report{Event: 0xBAD, Location: 7})
+	c.Observe(rep(8))
+	if !c.Suspicious(7) {
+		t.Fatal("failed-verification stream not flagged")
+	}
+	if c.Suspicious(8) {
+		t.Fatal("clean stream flagged")
+	}
+}
+
+func TestSingleStreamHasNoBaseline(t *testing.T) {
+	// With only one stream in the window there is no peer baseline, so
+	// volume alone cannot flag it.
+	c := NewClassifier(10)
+	for i := 0; i < 10; i++ {
+		c.Observe(rep(5))
+	}
+	if c.Suspicious(5) {
+		t.Fatal("lone stream flagged without a baseline")
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	c := NewClassifier(40)
+	// A flood against background is flagged...
+	for i := 0; i < 8; i++ {
+		for loc := uint32(1); loc <= 4; loc++ {
+			if loc == 1 {
+				for j := 0; j < 5; j++ {
+					c.Observe(rep(1))
+				}
+				continue
+			}
+			c.Observe(rep(loc))
+		}
+	}
+	if !c.Suspicious(1) {
+		t.Fatal("flood against background not flagged")
+	}
+	// ...and ages out once the window moves past it.
+	for i := 0; i < 40; i++ {
+		c.Observe(rep(uint32(2 + i%3)))
+	}
+	if c.Suspicious(1) {
+		t.Fatal("aged-out flood still flagged")
+	}
+	if c.Streams() == 0 {
+		t.Fatal("no streams tracked")
+	}
+}
+
+func TestMinWindow(t *testing.T) {
+	c := NewClassifier(0)
+	c.Observe(rep(1))
+	if c.Streams() != 1 {
+		t.Fatalf("Streams = %d", c.Streams())
+	}
+}
+
+func TestEmptyClassifier(t *testing.T) {
+	c := NewClassifier(10)
+	if c.Suspicious(1) {
+		t.Fatal("empty classifier flagged a stream")
+	}
+	if got := c.SuspiciousStreams(); len(got) != 0 {
+		t.Fatalf("SuspiciousStreams = %v", got)
+	}
+}

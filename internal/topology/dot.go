@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+
+	"pnm/internal/packet"
+)
+
+// DOTConfig controls DOT rendering.
+type DOTConfig struct {
+	// Highlight colors the given nodes (e.g. moles red, suspects orange).
+	Highlight map[packet.NodeID]string
+	// RadioEdges also draws non-tree radio links, dashed.
+	RadioEdges bool
+}
+
+// DOT renders the network as a Graphviz digraph: solid edges are the
+// routing tree (child -> parent, i.e. the packet flow), the sink is a
+// double circle, and node positions are pinned so `neato -n` reproduces
+// the physical layout.
+func (nw *Network) DOT(cfg DOTConfig) string {
+	var b strings.Builder
+	b.WriteString("digraph sensornet {\n")
+	b.WriteString("  node [shape=circle fontsize=10 width=0.3 fixedsize=true];\n")
+	const scale = 72.0 // DOT points per coordinate unit
+
+	pos := func(id packet.NodeID) string {
+		p := nw.Position(id)
+		return fmt.Sprintf("%.0f,%.0f", p.X*scale, p.Y*scale)
+	}
+	fmt.Fprintf(&b, "  sink [shape=doublecircle pos=%q];\n", pos(packet.SinkID)+"!")
+	for _, id := range nw.Nodes() {
+		attrs := fmt.Sprintf("label=%q pos=%q", fmt.Sprintf("%d", uint16(id)), pos(id)+"!")
+		if color, ok := cfg.Highlight[id]; ok {
+			attrs += fmt.Sprintf(" style=filled fillcolor=%q", color)
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", uint16(id), attrs)
+	}
+	name := func(id packet.NodeID) string {
+		if id == packet.SinkID {
+			return "sink"
+		}
+		return fmt.Sprintf("n%d", uint16(id))
+	}
+	for _, id := range nw.Nodes() {
+		fmt.Fprintf(&b, "  %s -> %s;\n", name(id), name(nw.Parent(id)))
+	}
+	if cfg.RadioEdges {
+		for _, id := range nw.Nodes() {
+			for _, nb := range nw.Neighbors(id) {
+				if nb <= id {
+					continue // one dashed edge per link
+				}
+				if nw.Parent(id) == nb || nw.Parent(nb) == id {
+					continue // already drawn as a tree edge
+				}
+				fmt.Fprintf(&b, "  %s -> %s [dir=none style=dashed color=gray];\n", name(id), name(nb))
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,287 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pnm/internal/packet"
+)
+
+func TestNewChainStructure(t *testing.T) {
+	nw, err := NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.NumNodes(); got != 5 {
+		t.Fatalf("NumNodes = %d, want 5", got)
+	}
+	for i := 1; i <= 5; i++ {
+		id := packet.NodeID(i)
+		if got, want := nw.Parent(id), packet.NodeID(i-1); got != want {
+			t.Errorf("Parent(%v) = %v, want %v", id, got, want)
+		}
+		if got := nw.Depth(id); got != i {
+			t.Errorf("Depth(%v) = %d, want %d", id, got, i)
+		}
+	}
+	if got := nw.MaxDepth(); got != 5 {
+		t.Errorf("MaxDepth = %d, want 5", got)
+	}
+	if got := nw.DeepestNode(); got != 5 {
+		t.Errorf("DeepestNode = %v, want V5", got)
+	}
+}
+
+func TestNewChainForwarders(t *testing.T) {
+	nw, err := NewChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nw.Forwarders(4)
+	want := []packet.NodeID{3, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Forwarders(4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Forwarders(4) = %v, want %v", got, want)
+		}
+	}
+	if path := nw.PathToSink(4); path[0] != 4 || len(path) != 4 {
+		t.Fatalf("PathToSink(4) = %v", path)
+	}
+}
+
+func TestNewChainNeighborhoods(t *testing.T) {
+	nw, err := NewChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		id   packet.NodeID
+		want []packet.NodeID
+	}{
+		{1, []packet.NodeID{packet.SinkID, 2}},
+		{2, []packet.NodeID{1, 3}},
+		{4, []packet.NodeID{3}},
+	}
+	for _, tt := range tests {
+		got := nw.Neighbors(tt.id)
+		if len(got) != len(tt.want) {
+			t.Fatalf("Neighbors(%v) = %v, want %v", tt.id, got, tt.want)
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Fatalf("Neighbors(%v) = %v, want %v", tt.id, got, tt.want)
+			}
+		}
+	}
+	hood := nw.Neighborhood(2)
+	if len(hood) != 3 || hood[0] != 2 {
+		t.Fatalf("Neighborhood(2) = %v", hood)
+	}
+}
+
+func TestNewChainInvalid(t *testing.T) {
+	if _, err := NewChain(0); err == nil {
+		t.Fatal("want error for empty chain")
+	}
+}
+
+func TestNewGridConnected(t *testing.T) {
+	nw, err := NewGrid(GridConfig{Width: 6, Height: 5, Spacing: 1, RadioRange: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.NumNodes(); got != 29 { // 30 positions, one is the sink
+		t.Fatalf("NumNodes = %d, want 29", got)
+	}
+	for _, id := range nw.Nodes() {
+		if nw.Depth(id) <= 0 {
+			t.Fatalf("node %v has depth %d", id, nw.Depth(id))
+		}
+	}
+}
+
+func TestNewGridDiagonalRange(t *testing.T) {
+	// Range 1.5 covers diagonals: interior nodes have 8 neighbors.
+	nw, err := NewGrid(GridConfig{Width: 5, Height: 5, Spacing: 1, RadioRange: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node at grid position (2,2) has index 2*5+2 = 12.
+	if got := nw.Degree(12); got != 8 {
+		t.Fatalf("interior degree = %d, want 8", got)
+	}
+}
+
+func TestNewGridErrors(t *testing.T) {
+	if _, err := NewGrid(GridConfig{Width: 0, Height: 3}); err == nil {
+		t.Fatal("want error for zero width")
+	}
+	if _, err := NewGrid(GridConfig{Width: 3, Height: 3, Spacing: 2, RadioRange: 1}); err == nil {
+		t.Fatal("want error for range below spacing")
+	}
+}
+
+func TestRandomGeometricInvariants(t *testing.T) {
+	nw, err := NewRandomGeometric(GeometricConfig{Nodes: 200, Side: 10, RadioRange: 1.6, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range nw.Nodes() {
+		parent := nw.Parent(id)
+		if got, want := nw.Depth(id), nw.Depth(parent)+1; got != want {
+			t.Fatalf("Depth(%v) = %d, want parent depth + 1 = %d", id, got, want)
+		}
+		if !nw.AreNeighbors(id, parent) && parent != packet.SinkID {
+			t.Fatalf("parent %v of %v is not a radio neighbor", parent, id)
+		}
+		// Walking parents must reach the sink without cycles.
+		steps := 0
+		for v := id; v != packet.SinkID; v = nw.Parent(v) {
+			if steps++; steps > nw.NumNodes() {
+				t.Fatalf("parent chain from %v does not reach the sink", id)
+			}
+		}
+	}
+}
+
+func TestRandomGeometricDeterministic(t *testing.T) {
+	cfg := GeometricConfig{Nodes: 50, Side: 5, RadioRange: 1.5, Seed: 7}
+	a, err := NewRandomGeometric(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomGeometric(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range a.Nodes() {
+		if a.Parent(id) != b.Parent(id) {
+			t.Fatalf("same seed produced different routing trees at %v", id)
+		}
+	}
+}
+
+func TestRandomGeometricDisconnectedFails(t *testing.T) {
+	_, err := NewRandomGeometric(GeometricConfig{
+		Nodes: 20, Side: 100, RadioRange: 1, Seed: 1, MaxAttempts: 3,
+	})
+	if err == nil {
+		t.Fatal("want error for hopelessly sparse placement")
+	}
+}
+
+func TestRandomGeometricConfigValidation(t *testing.T) {
+	if _, err := NewRandomGeometric(GeometricConfig{Nodes: 0, Side: 1, RadioRange: 1}); err == nil {
+		t.Fatal("want error for zero nodes")
+	}
+	if _, err := NewRandomGeometric(GeometricConfig{Nodes: 5, Side: 0, RadioRange: 1}); err == nil {
+		t.Fatal("want error for zero side")
+	}
+}
+
+func TestNeighborSymmetryProperty(t *testing.T) {
+	nw, err := NewRandomGeometric(GeometricConfig{Nodes: 120, Side: 8, RadioRange: 1.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nw.NumNodes()
+	f := func(a, b uint16) bool {
+		u := packet.NodeID(int(a)%n + 1)
+		v := packet.NodeID(int(b)%n + 1)
+		return nw.AreNeighbors(u, v) == nw.AreNeighbors(v, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinkAtCornerDeepens(t *testing.T) {
+	center, err := NewRandomGeometric(GeometricConfig{Nodes: 150, Side: 8, RadioRange: 1.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner, err := NewRandomGeometric(GeometricConfig{Nodes: 150, Side: 8, RadioRange: 1.5, Seed: 11, SinkAtCorner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corner.MaxDepth() <= center.MaxDepth() {
+		t.Fatalf("corner sink max depth %d not deeper than center %d", corner.MaxDepth(), center.MaxDepth())
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	nw, err := NewChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrees: node1 -> {sink,2}; node2 -> {1,3}; node3 -> {2}. Mean = 5/3.
+	if got := nw.AvgDegree(); got < 1.66 || got > 1.67 {
+		t.Fatalf("AvgDegree = %g, want 5/3", got)
+	}
+}
+
+func TestRewirePreservesDepthsAndGraph(t *testing.T) {
+	base, err := NewRandomGeometric(GeometricConfig{Nodes: 120, Side: 7, RadioRange: 1.5, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired := base.Rewire(5)
+	changed := 0
+	for _, id := range base.Nodes() {
+		if got, want := rewired.Depth(id), base.Depth(id); got != want {
+			t.Fatalf("Depth(%v) = %d, want %d", id, got, want)
+		}
+		// The rewired parent must be a minimum-depth radio neighbor.
+		p := rewired.Parent(id)
+		if !base.AreNeighbors(id, p) && p != packet.SinkID {
+			t.Fatalf("rewired parent %v of %v is not a neighbor", p, id)
+		}
+		if base.Depth(p) != base.Depth(id)-1 {
+			t.Fatalf("rewired parent %v of %v has depth %d", p, id, base.Depth(p))
+		}
+		if p != base.Parent(id) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("rewire changed nothing")
+	}
+}
+
+func TestRewirePinsNodes(t *testing.T) {
+	base, err := NewRandomGeometric(GeometricConfig{Nodes: 120, Side: 7, RadioRange: 1.5, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep := base.DeepestNode()
+	rewired := base.Rewire(6, deep)
+	if rewired.Parent(deep) != base.Parent(deep) {
+		t.Fatal("pinned node's parent changed")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	nw, err := NewChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := nw.DOT(DOTConfig{
+		Highlight:  map[packet.NodeID]string{3: "red"},
+		RadioEdges: true,
+	})
+	for _, want := range []string{
+		"digraph sensornet", "doublecircle", "n1 -> sink", "n3 -> n2", "fillcolor=\"red\"",
+	} {
+		if !containsStr(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && strings.Contains(haystack, needle)
+}

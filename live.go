@@ -1,0 +1,30 @@
+package pnm
+
+import "pnm/internal/netsim"
+
+// Live (concurrent) network simulation: one goroutine per node, channels
+// as radio links, optional loss, and a sink folding packets into a tracker
+// as they arrive.
+type (
+	// LiveConfig configures StartLive.
+	LiveConfig = netsim.Config
+	// LiveNetwork is a running concurrent simulation; always Close it.
+	LiveNetwork = netsim.Network
+)
+
+// StartLive spins up a concurrent network simulation.
+func StartLive(cfg LiveConfig) (*LiveNetwork, error) { return netsim.Start(cfg) }
+
+// StartLiveSystem starts a live simulation of this system with the given
+// colluding forwarders.
+func (s *System) StartLiveSystem(moles map[NodeID]*ForwarderMole, env *AdversaryEnv, seed int64) (*LiveNetwork, error) {
+	return netsim.Start(netsim.Config{
+		Topo:             s.topo,
+		Keys:             s.keys,
+		Scheme:           s.scheme,
+		Moles:            moles,
+		Env:              env,
+		Seed:             seed,
+		TopologyResolver: s.UseTopologyResolver,
+	})
+}

@@ -1,0 +1,44 @@
+package pnm
+
+import "pnm/internal/sim"
+
+// Attack scenarios from the paper's taxonomy (§2.2), runnable on the
+// canonical chain of Figure 1.
+type (
+	// AttackKind names a colluding-attack scenario.
+	AttackKind = sim.AttackKind
+	// ChainScenario configures a Figure-1 chain run.
+	ChainScenario = sim.ChainConfig
+	// ScenarioRunner drives a scenario packet by packet.
+	ScenarioRunner = sim.Runner
+)
+
+// The attack kinds.
+const (
+	// AttackNone: silent source mole, no forwarding mole.
+	AttackNone = sim.AttackNone
+	// AttackNoMark: the forwarding mole never marks.
+	AttackNoMark = sim.AttackNoMark
+	// AttackInsert: forged marks framing an off-path innocent.
+	AttackInsert = sim.AttackInsert
+	// AttackRemove: the source-adjacent forwarders' marks are stripped.
+	AttackRemove = sim.AttackRemove
+	// AttackReorder: marks re-ordered to fake a stable wrong route.
+	AttackReorder = sim.AttackReorder
+	// AttackAlter: upstream marks corrupted.
+	AttackAlter = sim.AttackAlter
+	// AttackDrop: packets exposing the colluders selectively dropped.
+	AttackDrop = sim.AttackDrop
+	// AttackSwap: source and forwarder swap identities, forming a loop.
+	AttackSwap = sim.AttackSwap
+)
+
+// Attacks lists every attack kind.
+func Attacks() []AttackKind { return sim.Attacks() }
+
+// NewChainScenario builds the paper's chain scenario: a source mole behind
+// n forwarders, optionally with a colluding forwarding mole running the
+// selected attack.
+func NewChainScenario(cfg ChainScenario) (*ScenarioRunner, error) {
+	return sim.NewChainRunner(cfg)
+}

@@ -1,0 +1,56 @@
+package pnm
+
+import "testing"
+
+func TestChainScenarioFacade(t *testing.T) {
+	p := MarkingProbability(10, 3)
+	r, err := NewChainScenario(ChainScenario{
+		Forwarders: 10,
+		Scheme:     PNMScheme(p),
+		Attack:     AttackDrop,
+		Seed:       21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(300)
+	if !r.SecurityHolds() {
+		t.Fatalf("PNM lost to selective dropping: %+v", r.Tracker().Verdict())
+	}
+
+	// The same attack defeats the naive plaintext scheme.
+	r, err = NewChainScenario(ChainScenario{
+		Forwarders: 10,
+		Scheme:     NaiveScheme(p),
+		Attack:     AttackDrop,
+		Seed:       21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(300)
+	if r.SecurityHolds() {
+		t.Fatal("naive scheme unexpectedly survived selective dropping")
+	}
+}
+
+func TestAttacksFacade(t *testing.T) {
+	if got := len(Attacks()); got != 10 {
+		t.Fatalf("Attacks() = %d kinds, want 10", got)
+	}
+}
+
+func TestTrafficClassifierFacade(t *testing.T) {
+	c := NewTrafficClassifier(50)
+	for i := 0; i < 10; i++ {
+		for loc := uint32(1); loc <= 3; loc++ {
+			c.Observe(Report{Event: 1, Location: loc})
+		}
+	}
+	for i := 0; i < 40; i++ {
+		c.Observe(Report{Event: 1, Location: 9})
+	}
+	if !c.Suspicious(9) || c.Suspicious(1) {
+		t.Fatalf("classifier misjudged: flood=%v legit=%v", c.Suspicious(9), c.Suspicious(1))
+	}
+}

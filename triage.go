@@ -1,0 +1,15 @@
+package pnm
+
+import "pnm/internal/suspect"
+
+// TrafficClassifier is the sink-side stream triage of §7 "Background
+// Traffic": it flags streams whose volume is anomalous against the median
+// stream, or whose reports fail application-level verification, so that
+// traceback runs only on suspicious traffic.
+type TrafficClassifier = suspect.Classifier
+
+// NewTrafficClassifier returns a classifier over a sliding window of the
+// given size.
+func NewTrafficClassifier(windowSize int) *TrafficClassifier {
+	return suspect.NewClassifier(windowSize)
+}
