@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench figures examples clean
+# Worker goroutines for the run-parallel experiments; <= 0 selects
+# GOMAXPROCS. Results are byte-identical for every value.
+WORKERS ?= 0
+
+.PHONY: all build test race vet bench ci figures examples clean
 
 all: build test
 
@@ -21,25 +25,32 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Regenerate every paper figure/table into results/.
+# What CI runs: build, vet, the full test suite, and the race detector
+# over the packages that exercise goroutines.
+ci: build vet test
+	$(GO) test -race ./internal/netsim ./internal/mac ./internal/experiment ./internal/parallel ./internal/sink
+
+# Regenerate every paper figure/table into results/. Run-averaged
+# experiments fan out across $(WORKERS) workers; output is byte-identical
+# for any worker count.
 figures:
 	mkdir -p results
 	$(GO) run ./cmd/pnmsim -exp fig4 > results/fig4.csv
-	$(GO) run ./cmd/pnmsim -exp fig5 > results/fig5.csv
-	$(GO) run ./cmd/pnmsim -exp fig6 > results/fig6.csv
-	$(GO) run ./cmd/pnmsim -exp fig7 > results/fig7.csv
-	$(GO) run ./cmd/pnmsim -exp matrix > results/matrix.txt
-	$(GO) run ./cmd/pnmsim -exp headline > results/headline.txt
-	$(GO) run ./cmd/pnmsim -exp ablate > results/ablate.txt
+	$(GO) run ./cmd/pnmsim -exp fig5 -workers $(WORKERS) > results/fig5.csv
+	$(GO) run ./cmd/pnmsim -exp fig6 -workers $(WORKERS) > results/fig6.csv
+	$(GO) run ./cmd/pnmsim -exp fig7 -workers $(WORKERS) > results/fig7.csv
+	$(GO) run ./cmd/pnmsim -exp matrix -workers $(WORKERS) > results/matrix.txt
+	$(GO) run ./cmd/pnmsim -exp headline -workers $(WORKERS) > results/headline.txt
+	$(GO) run ./cmd/pnmsim -exp ablate -workers $(WORKERS) > results/ablate.txt
 	$(GO) run ./cmd/pnmsim -exp resolve > results/resolve.txt
-	$(GO) run ./cmd/pnmsim -exp filter > results/filter.txt
-	$(GO) run ./cmd/pnmsim -exp related > results/related.txt
-	$(GO) run ./cmd/pnmsim -exp precision > results/precision.txt
-	$(GO) run ./cmd/pnmsim -exp overhead > results/overhead.txt
-	$(GO) run ./cmd/pnmsim -exp multisource > results/multisource.txt
-	$(GO) run ./cmd/pnmsim -exp background > results/background.txt
-	$(GO) run ./cmd/pnmsim -exp dynamics > results/dynamics.txt
-	$(GO) run ./cmd/pnmsim -exp molepos > results/molepos.txt
+	$(GO) run ./cmd/pnmsim -exp filter -workers $(WORKERS) > results/filter.txt
+	$(GO) run ./cmd/pnmsim -exp related -workers $(WORKERS) > results/related.txt
+	$(GO) run ./cmd/pnmsim -exp precision -workers $(WORKERS) > results/precision.txt
+	$(GO) run ./cmd/pnmsim -exp overhead -workers $(WORKERS) > results/overhead.txt
+	$(GO) run ./cmd/pnmsim -exp multisource -workers $(WORKERS) > results/multisource.txt
+	$(GO) run ./cmd/pnmsim -exp background -workers $(WORKERS) > results/background.txt
+	$(GO) run ./cmd/pnmsim -exp dynamics -workers $(WORKERS) > results/dynamics.txt
+	$(GO) run ./cmd/pnmsim -exp molepos -workers $(WORKERS) > results/molepos.txt
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -7,6 +7,12 @@
 // Output is CSV for the figure experiments (pipe into a plotter) or an
 // aligned text table for the tabular ones. -plot renders a crude ASCII
 // plot instead of CSV.
+//
+// Run-averaged experiments fan their independent runs across -workers
+// goroutines (default GOMAXPROCS). Every run derives its seed purely from
+// the run index, and aggregation happens in run order, so the output is
+// byte-identical for every worker count — -workers only changes how fast
+// the answer arrives.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"pnm/internal/experiment"
 	"pnm/internal/stats"
@@ -30,10 +37,11 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pnmsim", flag.ContinueOnError)
 	var (
-		exp  = fs.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, matrix, headline, ablate, resolve, filter, related, precision, overhead, multisource, background, dynamics, molepos")
-		runs = fs.Int("runs", 0, "override the run count (0 = experiment default)")
-		seed = fs.Int64("seed", 0, "override the RNG seed (0 = experiment default)")
-		plot = fs.Bool("plot", false, "render figures as ASCII plots instead of CSV")
+		exp     = fs.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, matrix, headline, ablate, resolve, filter, related, precision, overhead, multisource, background, dynamics, molepos")
+		runs    = fs.Int("runs", 0, "override the run count (0 = experiment default)")
+		seed    = fs.Int64("seed", 0, "override the RNG seed (0 = experiment default)")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for run-parallel experiments (<= 0 = GOMAXPROCS); results are identical for every value")
+		plot    = fs.Bool("plot", false, "render figures as ASCII plots instead of CSV")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +54,7 @@ func run(args []string, w io.Writer) error {
 	case "fig5":
 		cfg := experiment.DefaultFig5()
 		applyOverrides(&cfg.Runs, *runs, &cfg.Seed, *seed)
+		cfg.Workers = *workers
 		series, err := experiment.Fig5(cfg)
 		if err != nil {
 			return err
@@ -54,6 +63,7 @@ func run(args []string, w io.Writer) error {
 	case "fig6":
 		cfg := experiment.DefaultFig67()
 		applyOverrides(&cfg.Runs, *runs, &cfg.Seed, *seed)
+		cfg.Workers = *workers
 		res, err := experiment.Fig67(cfg)
 		if err != nil {
 			return err
@@ -62,6 +72,7 @@ func run(args []string, w io.Writer) error {
 	case "fig7":
 		cfg := experiment.DefaultFig67()
 		applyOverrides(&cfg.Runs, *runs, &cfg.Seed, *seed)
+		cfg.Workers = *workers
 		res, err := experiment.Fig67(cfg)
 		if err != nil {
 			return err
@@ -72,6 +83,7 @@ func run(args []string, w io.Writer) error {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
+		cfg.Workers = *workers
 		cells, err := experiment.SecurityMatrix(cfg)
 		if err != nil {
 			return err
@@ -81,6 +93,7 @@ func run(args []string, w io.Writer) error {
 	case "headline":
 		cfg := experiment.DefaultHeadline()
 		applyOverrides(&cfg.Runs, *runs, &cfg.Seed, *seed)
+		cfg.Workers = *workers
 		rows, err := experiment.Headline(cfg)
 		if err != nil {
 			return err
@@ -90,6 +103,7 @@ func run(args []string, w io.Writer) error {
 	case "ablate":
 		cfg := experiment.DefaultAblation()
 		applyOverrides(&cfg.Runs, *runs, &cfg.Seed, *seed)
+		cfg.Workers = *workers
 		rows, err := experiment.AblateMarkingProbability(cfg)
 		if err != nil {
 			return err
@@ -97,6 +111,8 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprint(w, experiment.RenderAblation(rows))
 		return nil
 	case "resolve":
+		// Deliberately serial: the experiment reports per-packet wall-clock
+		// times, which parallel measurement would corrupt.
 		cfg := experiment.DefaultResolve()
 		if *seed != 0 {
 			cfg.Seed = *seed
@@ -109,6 +125,7 @@ func run(args []string, w io.Writer) error {
 		return nil
 	case "filter":
 		cfg := experiment.DefaultFilterCompare()
+		cfg.Workers = *workers
 		rows := experiment.FilterCompare(cfg)
 		fmt.Fprint(w, experiment.RenderFilterCompare(rows, cfg.AttackHours))
 		return nil
@@ -117,6 +134,7 @@ func run(args []string, w io.Writer) error {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
+		cfg.Workers = *workers
 		rows, err := experiment.RelatedComparison(cfg)
 		if err != nil {
 			return err
@@ -126,6 +144,7 @@ func run(args []string, w io.Writer) error {
 	case "precision":
 		cfg := experiment.DefaultPrecision()
 		applyOverrides(&cfg.Runs, *runs, &cfg.Seed, *seed)
+		cfg.Workers = *workers
 		rows, err := experiment.Precision(cfg)
 		if err != nil {
 			return err
@@ -135,6 +154,7 @@ func run(args []string, w io.Writer) error {
 	case "multisource":
 		cfg := experiment.DefaultMultiSource()
 		applyOverrides(&cfg.Runs, *runs, &cfg.Seed, *seed)
+		cfg.Workers = *workers
 		rows, err := experiment.MultiSource(cfg)
 		if err != nil {
 			return err
@@ -146,6 +166,7 @@ func run(args []string, w io.Writer) error {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
+		cfg.Workers = *workers
 		rows, err := experiment.BackgroundTraffic(cfg)
 		if err != nil {
 			return err
@@ -155,6 +176,7 @@ func run(args []string, w io.Writer) error {
 	case "dynamics":
 		cfg := experiment.DefaultDynamics()
 		applyOverrides(&cfg.Runs, *runs, &cfg.Seed, *seed)
+		cfg.Workers = *workers
 		rows, err := experiment.Dynamics(cfg)
 		if err != nil {
 			return err
@@ -164,6 +186,7 @@ func run(args []string, w io.Writer) error {
 	case "molepos":
 		cfg := experiment.DefaultMolePos()
 		applyOverrides(&cfg.Runs, *runs, &cfg.Seed, *seed)
+		cfg.Workers = *workers
 		rows, err := experiment.MolePos(cfg)
 		if err != nil {
 			return err
@@ -175,6 +198,7 @@ func run(args []string, w io.Writer) error {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
+		cfg.Workers = *workers
 		rows, err := experiment.Overhead(cfg)
 		if err != nil {
 			return err

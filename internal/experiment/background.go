@@ -8,8 +8,8 @@ import (
 	"pnm/internal/marking"
 	"pnm/internal/mole"
 	"pnm/internal/packet"
+	"pnm/internal/parallel"
 	"pnm/internal/sim"
-	"pnm/internal/sink"
 	"pnm/internal/stats"
 	"pnm/internal/suspect"
 	"pnm/internal/topology"
@@ -42,6 +42,8 @@ type BackgroundConfig struct {
 	Rounds int
 	// Seed drives everything.
 	Seed int64
+	// Workers bounds the mode-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultBackground returns a mixed-traffic scenario: six background
@@ -61,10 +63,25 @@ func DefaultBackground() BackgroundConfig {
 // volume classifier flags. Mixing legitimate streams into the order matrix
 // plants one candidate source per stream, so triage is what makes
 // identification unequivocal.
+//
+// The two modes are independent replays of the identical seeded workload
+// (all randomness comes from cfg.Seed, and nothing on the observation side
+// consumes the RNG), so each mode builds its own network, tracker and
+// classifier and the pair fans out across cfg.Workers with byte-identical
+// results to the single shared pass.
 func BackgroundTraffic(cfg BackgroundConfig) ([]BackgroundRow, error) {
+	modes := []string{"all traffic", "triaged"}
+	return parallel.RunNErr(len(modes), cfg.Workers, func(mi int) (BackgroundRow, error) {
+		return backgroundMode(cfg, modes[mi], mi == 1)
+	})
+}
+
+// backgroundMode replays the mixed workload once, feeding the tracker
+// either every delivered packet or only the triaged streams.
+func backgroundMode(cfg BackgroundConfig, mode string, triage bool) (BackgroundRow, error) {
 	topo, err := topology.NewGrid(topology.GridConfig{Width: 8, Height: 8, Spacing: 1, RadioRange: 1.1})
 	if err != nil {
-		return nil, err
+		return BackgroundRow{}, err
 	}
 	keys := mac.NewKeyStore([]byte("background"))
 	scheme := marking.PNM{P: 0.35}
@@ -86,18 +103,13 @@ func BackgroundTraffic(cfg BackgroundConfig) ([]BackgroundRow, error) {
 	}
 	srcMole := &mole.Source{ID: moleID, Base: packet.Report{Event: 0xBAD, Location: uint32(moleID)}, Behavior: mole.MarkNever}
 
-	// One delivery pass, observed by both trackers and the classifier.
-	trackAll, err := net.NewTracker(false)
+	tracker, err := net.NewTracker(false)
 	if err != nil {
-		return nil, err
-	}
-	trackTriaged, err := net.NewTracker(false)
-	if err != nil {
-		return nil, err
+		return BackgroundRow{}, err
 	}
 	classifier := suspect.NewClassifier(200)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	allCount, triagedCount := 0, 0
+	tracked := 0
 	var seq uint32
 	for round := 0; round < cfg.Rounds; round++ {
 		var batch []struct {
@@ -128,28 +140,21 @@ func BackgroundTraffic(cfg BackgroundConfig) ([]BackgroundRow, error) {
 				continue
 			}
 			classifier.Observe(out.Report)
-			trackAll.Observe(out)
-			allCount++
-			if classifier.Suspicious(out.Report.Location) {
-				trackTriaged.Observe(out)
-				triagedCount++
+			if triage && !classifier.Suspicious(out.Report.Location) {
+				continue
 			}
+			tracker.Observe(out)
+			tracked++
 		}
 	}
 
-	row := func(mode string, tr *sink.Tracker, used int) BackgroundRow {
-		v := tr.Verdict()
-		return BackgroundRow{
-			Mode:           mode,
-			Identified:     v.Identified,
-			MoleLocalized:  v.HasStop && v.SuspectsContain(moleID),
-			Candidates:     len(tr.Candidates()),
-			TrackedPackets: used,
-		}
-	}
-	return []BackgroundRow{
-		row("all traffic", trackAll, allCount),
-		row("triaged", trackTriaged, triagedCount),
+	v := tracker.Verdict()
+	return BackgroundRow{
+		Mode:           mode,
+		Identified:     v.Identified,
+		MoleLocalized:  v.HasStop && v.SuspectsContain(moleID),
+		Candidates:     len(tracker.Candidates()),
+		TrackedPackets: tracked,
 	}, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"pnm/internal/marking"
 	"pnm/internal/mole"
 	"pnm/internal/packet"
+	"pnm/internal/parallel"
 	"pnm/internal/sim"
 	"pnm/internal/stats"
 	"pnm/internal/topology"
@@ -37,6 +38,8 @@ type DynamicsConfig struct {
 	Runs int
 	// Seed drives everything.
 	Seed int64
+	// Workers bounds the run-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultDynamics returns a 150+150-packet scenario.
@@ -50,11 +53,14 @@ func DefaultDynamics() DynamicsConfig {
 // remains the same"), and a full rewire.
 func Dynamics(cfg DynamicsConfig) ([]DynamicsRow, error) {
 	modes := []string{"stable", "rewire keeping first hop", "rewire all"}
-	results := make([]struct {
-		identified, localized, candidates int
-	}, len(modes))
 
-	for run := 0; run < cfg.Runs; run++ {
+	// One parallel run covers all three modes on its own topology; the
+	// modes stay serial inside the run because they share the base tree.
+	type dynMode struct {
+		identified, localized bool
+		candidates            int
+	}
+	perRun, err := parallel.RunNErr(cfg.Runs, cfg.Workers, func(run int) ([]dynMode, error) {
 		base, err := topology.NewRandomGeometric(topology.GeometricConfig{
 			Nodes: 120, Side: 7, RadioRange: 1.5, Seed: cfg.Seed + int64(run), SinkAtCorner: true,
 		})
@@ -64,9 +70,10 @@ func Dynamics(cfg DynamicsConfig) ([]DynamicsRow, error) {
 		moleID := base.DeepestNode()
 		hops := base.Depth(moleID) - 1
 		if hops < 3 {
-			continue
+			return nil, nil // degenerate placement: run contributes nothing
 		}
 		scheme := marking.PNM{P: analytic.ProbabilityForMarks(hops, 3)}
+		out := make([]dynMode, len(modes))
 		for mi, mode := range modes {
 			keys := mac.NewKeyStore([]byte(fmt.Sprintf("dyn-%d-%s", run, mode)))
 			env := &mole.Env{Scheme: scheme, StolenKeys: map[packet.NodeID]mac.Key{moleID: keys.Key(moleID)}}
@@ -102,15 +109,32 @@ func Dynamics(cfg DynamicsConfig) ([]DynamicsRow, error) {
 			deliver(netB, cfg.PacketsPerPhase)
 
 			v := tracker.Verdict()
-			if v.Identified {
-				results[mi].identified++
-			}
 			// Localization is judged against the radio graph, which both
 			// trees share.
-			if v.HasStop && v.SuspectsContain(moleID) {
+			out[mi] = dynMode{
+				identified: v.Identified,
+				localized:  v.HasStop && v.SuspectsContain(moleID),
+				candidates: len(tracker.Candidates()),
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]struct {
+		identified, localized, candidates int
+	}, len(modes))
+	for _, res := range perRun {
+		for mi, m := range res {
+			if m.identified {
+				results[mi].identified++
+			}
+			if m.localized {
 				results[mi].localized++
 			}
-			results[mi].candidates += len(tracker.Candidates())
+			results[mi].candidates += m.candidates
 		}
 	}
 

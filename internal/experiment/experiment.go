@@ -9,6 +9,7 @@ import (
 
 	"pnm/internal/analytic"
 	"pnm/internal/marking"
+	"pnm/internal/parallel"
 	"pnm/internal/sim"
 	"pnm/internal/stats"
 )
@@ -55,6 +56,8 @@ type Fig5Config struct {
 	Runs int
 	// Seed drives the runs deterministically.
 	Seed int64
+	// Workers bounds the run-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultFig5 returns the paper's parameters with a run count that keeps
@@ -65,12 +68,15 @@ func DefaultFig5() Fig5Config {
 
 // Fig5 simulates PNM and reports the average percentage of forwarding
 // nodes whose marks the sink has collected within the first x packets.
+// Runs are independent and fan out across cfg.Workers; each builds its own
+// runner and derives its seed from the run index alone, and the per-run
+// fractions are summed in run order, so the output is bit-identical for
+// every worker count.
 func Fig5(cfg Fig5Config) ([]stats.Series, error) {
 	out := make([]stats.Series, 0, len(cfg.PathLens))
 	for _, n := range cfg.PathLens {
 		p := analytic.ProbabilityForMarks(n, cfg.MarksPerPacket)
-		collected := make([]float64, cfg.MaxPackets) // sum of fractions per x
-		for run := 0; run < cfg.Runs; run++ {
+		perRun, err := parallel.RunNErr(cfg.Runs, cfg.Workers, func(run int) ([]float64, error) {
 			r, err := sim.NewChainRunner(sim.ChainConfig{
 				Forwarders: n,
 				Scheme:     marking.PNM{P: p},
@@ -80,9 +86,20 @@ func Fig5(cfg Fig5Config) ([]stats.Series, error) {
 			if err != nil {
 				return nil, err
 			}
+			frac := make([]float64, cfg.MaxPackets)
 			for x := 0; x < cfg.MaxPackets; x++ {
 				r.Step()
-				collected[x] += float64(r.Tracker().Order().SeenCount()) / float64(n)
+				frac[x] = float64(r.Tracker().Order().SeenCount()) / float64(n)
+			}
+			return frac, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		collected := make([]float64, cfg.MaxPackets) // sum of fractions per x
+		for _, frac := range perRun {
+			for x, f := range frac {
+				collected[x] += f
 			}
 		}
 		s := stats.Series{Name: fmt.Sprintf("n=%d", n)}
@@ -107,6 +124,8 @@ type Fig67Config struct {
 	Runs int
 	// Seed drives the runs deterministically.
 	Seed int64
+	// Workers bounds the run-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultFig67 returns the paper's parameters.
@@ -147,11 +166,16 @@ func Fig67(cfg Fig67Config) (Fig67Result, error) {
 		res.Failures[i] = stats.Series{Name: fmt.Sprintf("%d packets", tr)}
 	}
 
+	// One parallel run returns which budgets succeeded and, when the run
+	// identified within the largest budget, the packets it needed.
+	type fig67Run struct {
+		okAt       []bool
+		needed     float64
+		identified bool
+	}
 	for _, n := range cfg.PathLens {
 		p := analytic.ProbabilityForMarks(n, cfg.MarksPerPacket)
-		failures := make([]int, len(cfg.Traffics))
-		var needed []float64
-		for run := 0; run < cfg.Runs; run++ {
+		perRun, err := parallel.RunNErr(cfg.Runs, cfg.Workers, func(run int) (fig67Run, error) {
 			r, err := sim.NewChainRunner(sim.ChainConfig{
 				Forwarders: n,
 				Scheme:     marking.PNM{P: p},
@@ -159,7 +183,7 @@ func Fig67(cfg Fig67Config) (Fig67Result, error) {
 				Seed:       cfg.Seed + int64(run)*104729 + int64(n),
 			})
 			if err != nil {
-				return Fig67Result{}, err
+				return fig67Run{}, err
 			}
 			target := r.ExpectedStop()
 			lastBad := -1
@@ -177,16 +201,28 @@ func Fig67(cfg Fig67Config) (Fig67Result, error) {
 					}
 				}
 			}
-			for ti := range cfg.Traffics {
-				if !okAt[ti] {
-					failures[ti]++
-				}
-			}
 			// Identified (stably) within the largest budget: packets
 			// needed is one past the last packet after which the
 			// predicate was still false.
-			if lastBad < maxTraffic-1 {
-				needed = append(needed, float64(lastBad+2))
+			return fig67Run{
+				okAt:       okAt,
+				needed:     float64(lastBad + 2),
+				identified: lastBad < maxTraffic-1,
+			}, nil
+		})
+		if err != nil {
+			return Fig67Result{}, err
+		}
+		failures := make([]int, len(cfg.Traffics))
+		var needed []float64
+		for _, res := range perRun {
+			for ti := range cfg.Traffics {
+				if !res.okAt[ti] {
+					failures[ti]++
+				}
+			}
+			if res.identified {
+				needed = append(needed, res.needed)
 			}
 		}
 		for ti := range cfg.Traffics {
@@ -221,6 +257,8 @@ type MatrixConfig struct {
 	Packets int
 	// Seed drives the runs.
 	Seed int64
+	// Workers bounds the cell-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultMatrix returns a configuration matching the paper's qualitative
@@ -229,7 +267,10 @@ func DefaultMatrix() MatrixConfig {
 	return MatrixConfig{Forwarders: 10, MarksPerPacket: 3, Packets: 600, Seed: 3}
 }
 
-// SecurityMatrix evaluates every scheme under every attack.
+// SecurityMatrix evaluates every scheme under every attack. Cells are
+// independent scenarios (each gets its own runner and the same seed), so
+// they fan out across cfg.Workers with the cell order — and therefore the
+// rendered matrix — unchanged.
 func SecurityMatrix(cfg MatrixConfig) ([]MatrixCell, error) {
 	p := analytic.ProbabilityForMarks(cfg.Forwarders, cfg.MarksPerPacket)
 	schemes := []marking.Scheme{
@@ -239,32 +280,30 @@ func SecurityMatrix(cfg MatrixConfig) ([]MatrixCell, error) {
 		marking.Nested{},
 		marking.PNM{P: p},
 	}
-	var cells []MatrixCell
-	for _, s := range schemes {
-		for _, attack := range sim.Attacks() {
-			r, err := sim.NewChainRunner(sim.ChainConfig{
-				Forwarders: cfg.Forwarders,
-				Scheme:     s,
-				Attack:     attack,
-				Seed:       cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			delivered := r.Run(cfg.Packets)
-			cell := MatrixCell{
-				Scheme:        s.Name(),
-				Attack:        attack,
-				Secure:        r.SecurityHolds(),
-				SelfDefeating: delivered == 0,
-			}
-			if v := r.Tracker().Verdict(); v.HasStop {
-				cell.Stop = v.Stop.String()
-			}
-			cells = append(cells, cell)
+	attacks := sim.Attacks()
+	return parallel.RunNErr(len(schemes)*len(attacks), cfg.Workers, func(i int) (MatrixCell, error) {
+		s, attack := schemes[i/len(attacks)], attacks[i%len(attacks)]
+		r, err := sim.NewChainRunner(sim.ChainConfig{
+			Forwarders: cfg.Forwarders,
+			Scheme:     s,
+			Attack:     attack,
+			Seed:       cfg.Seed,
+		})
+		if err != nil {
+			return MatrixCell{}, err
 		}
-	}
-	return cells, nil
+		delivered := r.Run(cfg.Packets)
+		cell := MatrixCell{
+			Scheme:        s.Name(),
+			Attack:        attack,
+			Secure:        r.SecurityHolds(),
+			SelfDefeating: delivered == 0,
+		}
+		if v := r.Tracker().Verdict(); v.HasStop {
+			cell.Stop = v.Stop.String()
+		}
+		return cell, nil
+	})
 }
 
 // RenderMatrix formats the matrix as a table: one row per scheme, one

@@ -5,6 +5,7 @@ import (
 
 	"pnm/internal/energy"
 	"pnm/internal/filter"
+	"pnm/internal/parallel"
 	"pnm/internal/stats"
 )
 
@@ -26,6 +27,8 @@ type FilterCompareConfig struct {
 	PayloadBytes int
 	// AttackHours is the exposure window for the filtering-only defense.
 	AttackHours float64
+	// Workers bounds the row-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultFilterCompare returns a 20-hop scenario at Mica2 rates.
@@ -67,11 +70,13 @@ type FilterCompareRow struct {
 
 // FilterCompare computes the table. It is analytic end to end: expected
 // travel and delivery come from the filter model, energy from the Mica2
-// model, and packets-to-catch from the measured SinkPacketsToCatch.
+// model, and packets-to-catch from the measured SinkPacketsToCatch. Rows
+// are pure functions of one detection probability, so they fan out across
+// cfg.Workers in sweep order.
 func FilterCompare(cfg FilterCompareConfig) []FilterCompareRow {
-	model := energy.Mica2()
-	var rows []FilterCompareRow
-	for _, q := range cfg.DetectProbs {
+	return parallel.RunN(len(cfg.DetectProbs), cfg.Workers, func(i int) FilterCompareRow {
+		q := cfg.DetectProbs[i]
+		model := energy.Mica2()
 		expHops := filter.ExpectedTravel(cfg.PathLen, q)
 		delivery := filter.SinkDeliveryProb(cfg.PathLen, q)
 		perPacketJ := model.AttackEnergy(1, cfg.PayloadBytes, int(expHops+0.5))
@@ -88,9 +93,8 @@ func FilterCompare(cfg FilterCompareConfig) []FilterCompareRow {
 		}
 		injectedWindow := cfg.AttackHours * 3600 * cfg.InjectionRatePPS
 		row.EnergyFilterOnlyJ = injectedWindow * perPacketJ
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // RenderFilterCompare formats the table.

@@ -8,9 +8,17 @@ import (
 	"pnm/internal/energy"
 	"pnm/internal/marking"
 	"pnm/internal/packet"
+	"pnm/internal/parallel"
 	"pnm/internal/sim"
 	"pnm/internal/stats"
 )
+
+// catchRun is one run's outcome in a packets-to-identify sweep: whether
+// the run identified the source within budget, and at what packet count.
+type catchRun struct {
+	identified bool
+	needed     float64
+}
 
 // HeadlineConfig parameterizes the headline-claims experiment (§1/§6/§9):
 // "within about 50 packets, a mole up to 20 hops away is caught" and
@@ -26,6 +34,8 @@ type HeadlineConfig struct {
 	MaxPackets int
 	// Seed drives the runs.
 	Seed int64
+	// Workers bounds the run-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultHeadline returns the paper's checkpoints.
@@ -61,9 +71,7 @@ func Headline(cfg HeadlineConfig) ([]HeadlineRow, error) {
 	var rows []HeadlineRow
 	for _, n := range cfg.PathLens {
 		p := analytic.ProbabilityForMarks(n, cfg.MarksPerPacket)
-		var needed []float64
-		identified := 0
-		for run := 0; run < cfg.Runs; run++ {
+		perRun, err := parallel.RunNErr(cfg.Runs, cfg.Workers, func(run int) (catchRun, error) {
 			r, err := sim.NewChainRunner(sim.ChainConfig{
 				Forwarders: n,
 				Scheme:     marking.PNM{P: p},
@@ -71,7 +79,7 @@ func Headline(cfg HeadlineConfig) ([]HeadlineRow, error) {
 				Seed:       cfg.Seed + int64(run)*6151 + int64(n),
 			})
 			if err != nil {
-				return nil, err
+				return catchRun{}, err
 			}
 			target := r.ExpectedStop()
 			lastBad := -1
@@ -82,9 +90,20 @@ func Headline(cfg HeadlineConfig) ([]HeadlineRow, error) {
 					lastBad = i
 				}
 			}
-			if lastBad < cfg.MaxPackets-1 {
+			return catchRun{
+				identified: lastBad < cfg.MaxPackets-1,
+				needed:     float64(lastBad + 2),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var needed []float64
+		identified := 0
+		for _, res := range perRun {
+			if res.identified {
 				identified++
-				needed = append(needed, float64(lastBad+2))
+				needed = append(needed, res.needed)
 			}
 		}
 		avg := stats.Mean(needed)
@@ -137,6 +156,8 @@ type AblationConfig struct {
 	MaxPackets int
 	// Seed drives the runs.
 	Seed int64
+	// Workers bounds the run-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultAblation returns a 20-hop sweep of np in 1..6.
@@ -168,9 +189,7 @@ func AblateMarkingProbability(cfg AblationConfig) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, mpp := range cfg.MarksPerPacketValues {
 		p := analytic.ProbabilityForMarks(cfg.Forwarders, mpp)
-		var needed []float64
-		identified := 0
-		for run := 0; run < cfg.Runs; run++ {
+		perRun, err := parallel.RunNErr(cfg.Runs, cfg.Workers, func(run int) (catchRun, error) {
 			r, err := sim.NewChainRunner(sim.ChainConfig{
 				Forwarders: cfg.Forwarders,
 				Scheme:     marking.PNM{P: p},
@@ -178,7 +197,7 @@ func AblateMarkingProbability(cfg AblationConfig) ([]AblationRow, error) {
 				Seed:       cfg.Seed + int64(run)*31 + int64(mpp*1000),
 			})
 			if err != nil {
-				return nil, err
+				return catchRun{}, err
 			}
 			target := r.ExpectedStop()
 			lastBad := -1
@@ -189,9 +208,20 @@ func AblateMarkingProbability(cfg AblationConfig) ([]AblationRow, error) {
 					lastBad = i
 				}
 			}
-			if lastBad < cfg.MaxPackets-1 {
+			return catchRun{
+				identified: lastBad < cfg.MaxPackets-1,
+				needed:     float64(lastBad + 2),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var needed []float64
+		identified := 0
+		for _, res := range perRun {
+			if res.identified {
 				identified++
-				needed = append(needed, float64(lastBad+2))
+				needed = append(needed, res.needed)
 			}
 		}
 		rows = append(rows, AblationRow{

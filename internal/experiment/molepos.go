@@ -5,6 +5,7 @@ import (
 
 	"pnm/internal/analytic"
 	"pnm/internal/marking"
+	"pnm/internal/parallel"
 	"pnm/internal/sim"
 	"pnm/internal/stats"
 )
@@ -25,6 +26,8 @@ type MolePosConfig struct {
 	MaxPackets int
 	// Seed drives the runs.
 	Seed int64
+	// Workers bounds the run-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultMolePos sweeps a 12-hop path.
@@ -59,9 +62,7 @@ func MolePos(cfg MolePosConfig) ([]MolePosRow, error) {
 	}
 	var rows []MolePosRow
 	for _, pos := range cfg.Positions {
-		var needed []float64
-		localized := 0
-		for run := 0; run < cfg.Runs; run++ {
+		perRun, err := parallel.RunNErr(cfg.Runs, cfg.Workers, func(run int) (catchRun, error) {
 			r, err := sim.NewChainRunner(sim.ChainConfig{
 				Forwarders: cfg.Forwarders,
 				Scheme:     marking.PNM{P: p},
@@ -70,7 +71,7 @@ func MolePos(cfg MolePosConfig) ([]MolePosRow, error) {
 				Seed:       cfg.Seed + int64(run)*101 + int64(pos),
 			})
 			if err != nil {
-				return nil, err
+				return catchRun{}, err
 			}
 			lastBad := -1
 			for i := 0; i < cfg.MaxPackets; i++ {
@@ -79,9 +80,20 @@ func MolePos(cfg MolePosConfig) ([]MolePosRow, error) {
 					lastBad = i
 				}
 			}
-			if lastBad < cfg.MaxPackets-1 {
+			return catchRun{
+				identified: lastBad < cfg.MaxPackets-1,
+				needed:     float64(lastBad + 2),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var needed []float64
+		localized := 0
+		for _, res := range perRun {
+			if res.identified {
 				localized++
-				needed = append(needed, float64(lastBad+2))
+				needed = append(needed, res.needed)
 			}
 		}
 		rows = append(rows, MolePosRow{

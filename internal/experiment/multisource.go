@@ -8,6 +8,7 @@ import (
 	"pnm/internal/marking"
 	"pnm/internal/mole"
 	"pnm/internal/packet"
+	"pnm/internal/parallel"
 	"pnm/internal/sim"
 	"pnm/internal/stats"
 	"pnm/internal/topology"
@@ -46,6 +47,8 @@ type MultiSourceConfig struct {
 	PacketsPerRound int
 	// Seed drives placement and marking.
 	Seed int64
+	// Workers bounds the run-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultMultiSource returns a 9x9-grid sweep of 1..4 moles.
@@ -59,23 +62,30 @@ func DefaultMultiSource() MultiSourceConfig {
 	}
 }
 
-// MultiSource runs the sweep.
+// MultiSource runs the sweep. Campaign runs are independent (each builds
+// its own grid, key store and campaign) and fan out across cfg.Workers.
 func MultiSource(cfg MultiSourceConfig) ([]MultiSourceRow, error) {
+	// One campaign run's contribution to the aggregates.
+	type multiRun struct {
+		placed      bool // enough spread moles found
+		cutOff      bool
+		rounds      float64
+		quarantined float64
+		localized   int
+		sources     int
+	}
 	var rows []MultiSourceRow
 	for _, count := range cfg.SourceCounts {
-		var rounds []float64
-		var quarantined []float64
-		cutOff, localized, totalSources := 0, 0, 0
-		for run := 0; run < cfg.Runs; run++ {
+		perRun, err := parallel.RunNErr(cfg.Runs, cfg.Workers, func(run int) (multiRun, error) {
 			topo, err := topology.NewGrid(topology.GridConfig{
 				Width: 9, Height: 9, Spacing: 1, RadioRange: 1.1,
 			})
 			if err != nil {
-				return nil, err
+				return multiRun{}, err
 			}
 			srcs := pickSpreadMoles(topo, count, cfg.Seed+int64(run))
 			if len(srcs) < count {
-				continue
+				return multiRun{}, nil
 			}
 			keys := mac.NewKeyStore([]byte(fmt.Sprintf("multi-%d-%d", count, run)))
 			scheme := marking.PNM{P: 0.35}
@@ -98,20 +108,42 @@ func MultiSource(cfg MultiSourceConfig) ([]MultiSourceRow, error) {
 			}
 			c := isolation.NewCampaign(net, sources, cfg.Seed+int64(run)*17)
 			verdicts, err := c.Run(cfg.MaxRounds, cfg.PacketsPerRound)
-			if err == nil && len(c.ActiveSources()) == 0 {
-				cutOff++
-				rounds = append(rounds, float64(len(verdicts)))
+			res := multiRun{
+				placed:      true,
+				quarantined: float64(c.Manager.Count()),
+				sources:     len(srcs),
 			}
-			quarantined = append(quarantined, float64(c.Manager.Count()))
+			if err == nil && len(c.ActiveSources()) == 0 {
+				res.cutOff = true
+				res.rounds = float64(len(verdicts))
+			}
 			for _, s := range srcs {
-				totalSources++
 				for _, v := range verdicts {
 					if v.SuspectsContain(s) {
-						localized++
+						res.localized++
 						break
 					}
 				}
 			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rounds []float64
+		var quarantined []float64
+		cutOff, localized, totalSources := 0, 0, 0
+		for _, res := range perRun {
+			if !res.placed {
+				continue
+			}
+			if res.cutOff {
+				cutOff++
+				rounds = append(rounds, res.rounds)
+			}
+			quarantined = append(quarantined, res.quarantined)
+			localized += res.localized
+			totalSources += res.sources
 		}
 		rows = append(rows, MultiSourceRow{
 			Sources:        count,

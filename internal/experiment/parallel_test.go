@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"pnm/internal/stats"
+)
+
+// renderFig5 flattens Fig5 output to bytes the way cmd/pnmsim emits it, so
+// equality below is exactly the "same CSV in results/" guarantee.
+func renderFig5(t *testing.T, cfg Fig5Config) string {
+	t.Helper()
+	series, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.CSV("packets", series...)
+}
+
+// TestFig5ParallelSerialEquivalence is the engine's core regression: with
+// the same seed, the Fig5 sweep must be byte-identical at workers=1 and
+// workers=8. Seeds derive from the run index alone and aggregation folds
+// in run order, so worker scheduling must not be observable in the output.
+func TestFig5ParallelSerialEquivalence(t *testing.T) {
+	cfg := DefaultFig5()
+	cfg.PathLens = []int{10, 20}
+	cfg.MaxPackets = 30
+	cfg.Runs = 64
+
+	cfg.Workers = 1
+	serial := renderFig5(t, cfg)
+	cfg.Workers = 8
+	parallel8 := renderFig5(t, cfg)
+
+	if serial != parallel8 {
+		t.Fatalf("Fig5 diverged between workers=1 and workers=8:\n--- serial ---\n%s--- workers=8 ---\n%s", serial, parallel8)
+	}
+}
+
+// TestFig67ParallelSerialEquivalence asserts the same byte-identity for
+// the Fig 6/7 identification sweep, covering both the failure counters and
+// the float mean of packets-to-identify.
+func TestFig67ParallelSerialEquivalence(t *testing.T) {
+	cfg := DefaultFig67()
+	cfg.PathLens = []int{5, 10, 15}
+	cfg.Traffics = []int{100, 200}
+	cfg.Runs = 32
+
+	render := func(workers int) string {
+		cfg.Workers = workers
+		res, err := Fig67(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.CSV("path length", res.Failures...) + stats.CSV("path length", res.AvgPackets)
+	}
+
+	serial := render(1)
+	parallel8 := render(8)
+	if serial != parallel8 {
+		t.Fatalf("Fig67 diverged between workers=1 and workers=8:\n--- serial ---\n%s--- workers=8 ---\n%s", serial, parallel8)
+	}
+}
+
+// TestSecurityMatrixParallelSerialEquivalence pins the cell order of the
+// fanned-out matrix to the serial nesting (schemes outer, attacks inner).
+func TestSecurityMatrixParallelSerialEquivalence(t *testing.T) {
+	cfg := DefaultMatrix()
+	cfg.Packets = 150
+
+	render := func(workers int) string {
+		cfg.Workers = workers
+		cells, err := SecurityMatrix(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderMatrix(cells)
+	}
+
+	if serial, parallel8 := render(1), render(8); serial != parallel8 {
+		t.Fatalf("SecurityMatrix diverged between workers=1 and workers=8:\n--- serial ---\n%s--- workers=8 ---\n%s", serial, parallel8)
+	}
+}
+
+// BenchmarkFig5Workers measures the run engine's scaling on the Fig5 sweep
+// (the acceptance check: >= 2x wall clock at 4+ workers over workers=1).
+// Run with: go test -bench=Fig5Workers -benchtime=1x ./internal/experiment
+func BenchmarkFig5Workers(b *testing.B) {
+	base := DefaultFig5()
+	base.PathLens = []int{20}
+	base.Runs = 256
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := base
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig5(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"pnm/internal/marking"
 	"pnm/internal/mole"
 	"pnm/internal/packet"
+	"pnm/internal/parallel"
 	"pnm/internal/sim"
 	"pnm/internal/stats"
 	"pnm/internal/topology"
@@ -39,6 +40,8 @@ type PrecisionConfig struct {
 	Packets int
 	// Seed drives placements and marking.
 	Seed int64
+	// Workers bounds the run-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultPrecision returns a modest configuration.
@@ -63,19 +66,24 @@ func Precision(cfg PrecisionConfig) ([]PrecisionRow, error) {
 			})
 		}},
 	}
+	// One parallel run: builds its own topology, keys and tracker, and
+	// reports whether it produced a verdict plus the per-run measurements.
+	type precisionRun struct {
+		hasVerdict       bool
+		suspects         float64
+		inHood, adjacent bool
+	}
 	var rows []PrecisionRow
 	for _, b := range builders {
-		var suspects []float64
-		inHood, adjacent := 0, 0
-		for run := 0; run < cfg.Runs; run++ {
+		perRun, err := parallel.RunNErr(cfg.Runs, cfg.Workers, func(run int) (precisionRun, error) {
 			topo, err := b.build(cfg.Seed + int64(run))
 			if err != nil {
-				return nil, err
+				return precisionRun{}, err
 			}
 			src := topo.DeepestNode()
 			fwd := topo.Forwarders(src)
 			if len(fwd) < 2 {
-				continue
+				return precisionRun{}, nil
 			}
 			scheme := marking.PNM{P: analytic.ProbabilityForMarks(len(fwd), 3)}
 			keys := mac.NewKeyStore([]byte(fmt.Sprintf("precision-%d", run)))
@@ -88,7 +96,7 @@ func Precision(cfg PrecisionConfig) ([]PrecisionRow, error) {
 			}
 			tracker, err := net.NewTracker(false)
 			if err != nil {
-				return nil, err
+				return precisionRun{}, err
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(run)*13))
 			srcMole := &mole.Source{ID: src, Base: packet.Report{Event: 0xF00}, Behavior: mole.MarkNever}
@@ -100,13 +108,29 @@ func Precision(cfg PrecisionConfig) ([]PrecisionRow, error) {
 			}
 			v := tracker.Verdict()
 			if !v.HasStop {
+				return precisionRun{}, nil
+			}
+			return precisionRun{
+				hasVerdict: true,
+				suspects:   float64(len(v.Suspects)),
+				inHood:     v.SuspectsContain(src),
+				adjacent:   v.Stop == fwd[0],
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var suspects []float64
+		inHood, adjacent := 0, 0
+		for _, res := range perRun {
+			if !res.hasVerdict {
 				continue
 			}
-			suspects = append(suspects, float64(len(v.Suspects)))
-			if v.SuspectsContain(src) {
+			suspects = append(suspects, res.suspects)
+			if res.inHood {
 				inHood++
 			}
-			if v.Stop == fwd[0] {
+			if res.adjacent {
 				adjacent++
 			}
 		}
@@ -162,6 +186,8 @@ type OverheadConfig struct {
 	MarksPerPacket float64
 	// Seed drives marking decisions.
 	Seed int64
+	// Workers bounds the measurement-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultOverhead matches the paper's path lengths.
@@ -173,43 +199,55 @@ func DefaultOverhead() OverheadConfig {
 // paper's §4 motivates — deterministic nested marking costs one mark per
 // hop, PNM amortizes to np marks at slightly wider (anonymous) marks.
 func Overhead(cfg OverheadConfig) ([]OverheadRow, error) {
-	var rows []OverheadRow
+	// Each (path length, scheme) measurement is an independent clean run;
+	// fan the flattened units out and keep the row order.
+	type unit struct {
+		n      int
+		scheme marking.Scheme
+	}
+	var units []unit
 	for _, n := range cfg.PathLens {
 		p := analytic.ProbabilityForMarks(n, cfg.MarksPerPacket)
-		schemes := []marking.Scheme{
+		for _, s := range []marking.Scheme{
 			marking.Nested{},
 			marking.PNM{P: p},
 			marking.NaiveProbNested{P: p},
 			marking.AMS{P: p},
 			marking.PPM{P: p},
+		} {
+			units = append(units, unit{n: n, scheme: s})
 		}
-		for _, s := range schemes {
-			r, err := sim.NewChainRunner(sim.ChainConfig{
-				Forwarders: n,
-				Scheme:     s,
-				Attack:     sim.AttackNone,
-				Seed:       cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			// In a clean run the sink accepts every honest mark, so the
-			// accepted-chain length equals the marks carried on the wire.
-			totalMarks := 0
-			for i := 0; i < cfg.Packets; i++ {
-				res, ok := r.Step()
-				if !ok {
-					continue
-				}
-				totalMarks += len(res.Chain)
-			}
-			rows = append(rows, OverheadRow{
-				Scheme:         s.Name(),
-				PathLen:        n,
-				AvgBytes:       0,
-				MarksPerPacket: float64(totalMarks) / float64(cfg.Packets),
-			})
+	}
+	rows, err := parallel.RunNErr(len(units), cfg.Workers, func(i int) (OverheadRow, error) {
+		u := units[i]
+		r, err := sim.NewChainRunner(sim.ChainConfig{
+			Forwarders: u.n,
+			Scheme:     u.scheme,
+			Attack:     sim.AttackNone,
+			Seed:       cfg.Seed,
+		})
+		if err != nil {
+			return OverheadRow{}, err
 		}
+		// In a clean run the sink accepts every honest mark, so the
+		// accepted-chain length equals the marks carried on the wire.
+		totalMarks := 0
+		for i := 0; i < cfg.Packets; i++ {
+			res, ok := r.Step()
+			if !ok {
+				continue
+			}
+			totalMarks += len(res.Chain)
+		}
+		return OverheadRow{
+			Scheme:         u.scheme.Name(),
+			PathLen:        u.n,
+			AvgBytes:       0,
+			MarksPerPacket: float64(totalMarks) / float64(cfg.Packets),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fillOverheadBytes(rows), nil
 }

@@ -9,6 +9,7 @@ import (
 	"pnm/internal/marking"
 	"pnm/internal/notify"
 	"pnm/internal/packet"
+	"pnm/internal/parallel"
 	"pnm/internal/sim"
 	"pnm/internal/spie"
 	"pnm/internal/stats"
@@ -43,6 +44,8 @@ type RelatedConfig struct {
 	NotifyProb float64
 	// Seed drives the runs.
 	Seed int64
+	// Workers bounds the approach-level parallelism (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultRelated returns a 10-hop scenario.
@@ -54,11 +57,21 @@ func DefaultRelated() RelatedConfig {
 // notification under the same source-plus-colluder attack and tabulates
 // their costs. The colluder behaves per approach: against PNM it tries
 // selective dropping (and fails); against logging it lies to queries;
-// against notification it eats upstream notifications.
+// against notification it eats upstream notifications. The three
+// approaches are fully independent scenarios — each builds its own
+// (deterministic) chain — so they fan out across cfg.Workers with the row
+// order unchanged.
 func RelatedComparison(cfg RelatedConfig) ([]RelatedRow, error) {
-	var rows []RelatedRow
+	approaches := []func(RelatedConfig) (RelatedRow, error){
+		relatedPNM, relatedLogging, relatedNotification,
+	}
+	return parallel.RunNErr(len(approaches), cfg.Workers, func(i int) (RelatedRow, error) {
+		return approaches[i](cfg)
+	})
+}
 
-	// --- PNM ---
+// relatedPNM measures PNM under the selective-dropping colluder.
+func relatedPNM(cfg RelatedConfig) (RelatedRow, error) {
 	p := analytic.ProbabilityForMarks(cfg.PathLen, 3)
 	runner, err := sim.NewChainRunner(sim.ChainConfig{
 		Forwarders: cfg.PathLen,
@@ -67,23 +80,25 @@ func RelatedComparison(cfg RelatedConfig) ([]RelatedRow, error) {
 		Seed:       cfg.Seed,
 	})
 	if err != nil {
-		return nil, err
+		return RelatedRow{}, err
 	}
 	runner.Run(cfg.Packets)
 	anonMark := packet.Mark{Anonymous: true}
-	rows = append(rows, RelatedRow{
+	return RelatedRow{
 		Approach:           "pnm",
 		PerNodeMemoryBytes: 0,
 		ControlMessages:    0,
 		ExtraPacketBytes:   int(3*float64(anonMark.EncodedLen()) + 0.5),
 		Localized:          runner.SecurityHolds(),
 		Note:               "evidence rides inside the attack traffic",
-	})
+	}, nil
+}
 
-	// --- Hash-based logging (SPIE) ---
+// relatedLogging measures hash-based logging (SPIE) with a lying mole.
+func relatedLogging(cfg RelatedConfig) (RelatedRow, error) {
 	topo, err := topology.NewChain(cfg.PathLen + 1)
 	if err != nil {
-		return nil, err
+		return RelatedRow{}, err
 	}
 	src := packet.NodeID(cfg.PathLen + 1)
 	molePos := packet.NodeID((cfg.PathLen + 1) / 2)
@@ -95,17 +110,25 @@ func RelatedComparison(cfg RelatedConfig) ([]RelatedRow, error) {
 		logSys.Record(src, lastDigest)
 	}
 	_, stop := logSys.Trace(lastDigest)
-	logLocalized := stop == molePos || topo.AreNeighbors(stop, molePos)
-	rows = append(rows, RelatedRow{
+	return RelatedRow{
 		Approach:           "logging (SPIE)",
 		PerNodeMemoryBytes: logSys.MemoryBytes() / cfg.PathLen,
 		ControlMessages:    logSys.Queries(),
 		ExtraPacketBytes:   0,
-		Localized:          logLocalized,
+		Localized:          stop == molePos || topo.AreNeighbors(stop, molePos),
 		Note:               "per-node storage + query round per traceback; lying mole halts the walk",
-	})
+	}, nil
+}
 
-	// --- Probabilistic notification ---
+// relatedNotification measures probabilistic notification with a mole that
+// eats upstream notifications.
+func relatedNotification(cfg RelatedConfig) (RelatedRow, error) {
+	topo, err := topology.NewChain(cfg.PathLen + 1)
+	if err != nil {
+		return RelatedRow{}, err
+	}
+	src := packet.NodeID(cfg.PathLen + 1)
+	molePos := packet.NodeID((cfg.PathLen + 1) / 2)
 	keys := mac.NewKeyStore([]byte("related"))
 	ntf := notify.NewSystem(topo, keys, cfg.NotifyProb)
 	ntf.DropAtMole = molePos
@@ -118,16 +141,14 @@ func RelatedComparison(cfg RelatedConfig) ([]RelatedRow, error) {
 	// The mole eats everything upstream of it: the estimate can never see
 	// past the mole. It "localizes" only if the estimate happens to land
 	// next to the mole — but the sink has no tamper evidence either way.
-	ntfLocalized := ok && (up == molePos || topo.AreNeighbors(up, molePos))
-	rows = append(rows, RelatedRow{
+	return RelatedRow{
 		Approach:           "notification (iTrace)",
 		PerNodeMemoryBytes: 0,
 		ControlMessages:    ntf.Sent(),
 		ExtraPacketBytes:   0,
-		Localized:          ntfLocalized,
+		Localized:          ok && (up == molePos || topo.AreNeighbors(up, molePos)),
 		Note:               "control messages travel the infested path; mole silently eats upstream reports",
-	})
-	return rows, nil
+	}, nil
 }
 
 // RenderRelated formats the comparison.

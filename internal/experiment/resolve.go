@@ -50,6 +50,12 @@ func DefaultResolve() ResolveConfig {
 
 // ResolveComparison measures sink verification time per packet under the
 // exhaustive table and the topology-restricted subtree search.
+//
+// Unlike the run-averaged experiments this one deliberately stays serial:
+// its output is wall-clock time per packet, and fanning the measurements
+// across workers would make them contend for cores and memory bandwidth,
+// corrupting exactly the quantity being reported. Keep it off the
+// parallel.RunN engine.
 func ResolveComparison(cfg ResolveConfig) ([]ResolveRow, error) {
 	var rows []ResolveRow
 	for _, n := range cfg.Sizes {

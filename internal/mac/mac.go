@@ -88,6 +88,16 @@ func (ks *KeyStore) Key(id packet.NodeID) Key {
 		return k
 	}
 
+	// Re-check under the write lock: between RUnlock and Lock another
+	// goroutine may have derived this key, and with run-parallel
+	// experiments hammering a shared store, every worker would otherwise
+	// redo the two HMAC compressions per miss.
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if k, ok := ks.keys[id]; ok {
+		return k
+	}
+
 	h := hmac.New(sha256.New, ks.master[:])
 	var buf [6]byte
 	copy(buf[:4], "key/")
@@ -97,8 +107,6 @@ func (ks *KeyStore) Key(id packet.NodeID) Key {
 	h.Sum(sum[:0])
 	copy(k[:], sum[:KeyLen])
 
-	ks.mu.Lock()
 	ks.keys[id] = k
-	ks.mu.Unlock()
 	return k
 }

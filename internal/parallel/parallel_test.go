@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunNOrdersResultsByRunIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got := RunN(50, workers, func(run int) int { return run * run })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunNDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Each run seeds its own RNG from the run index — the engine's
+	// contract — so any worker count must reproduce the serial results.
+	fn := func(run int) []float64 {
+		rng := rand.New(rand.NewSource(int64(run) * 7919))
+		xs := make([]float64, 16)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		return xs
+	}
+	serial := RunN(40, 1, fn)
+	for _, workers := range []int{2, 4, 8} {
+		if got := RunN(40, workers, fn); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d diverged from serial results", workers)
+		}
+	}
+}
+
+func TestRunNEdgeCases(t *testing.T) {
+	if got := RunN(0, 4, func(int) int { return 1 }); len(got) != 0 {
+		t.Fatalf("RunN(0) returned %d results", len(got))
+	}
+	if got := RunN(-3, 4, func(int) int { return 1 }); len(got) != 0 {
+		t.Fatalf("RunN(-3) returned %d results", len(got))
+	}
+	// workers <= 0 selects GOMAXPROCS and must still complete.
+	if got := RunN(5, 0, func(run int) int { return run }); got[4] != 4 {
+		t.Fatal("workers=0 did not run all runs")
+	}
+}
+
+func TestRunNEachIndexExactlyOnce(t *testing.T) {
+	counts := make([]atomic.Int64, 200)
+	RunN(200, 8, func(run int) struct{} {
+		counts[run].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("run %d executed %d times", i, n)
+		}
+	}
+}
+
+func TestRunNErrReportsLowestFailingRun(t *testing.T) {
+	errWant := errors.New("run 3 failed")
+	_, err := RunNErr(20, 8, func(run int) (int, error) {
+		switch run {
+		case 3:
+			return 0, errWant
+		case 11:
+			return 0, errors.New("run 11 failed")
+		}
+		return run, nil
+	})
+	if err != errWant {
+		t.Fatalf("err = %v, want the lowest failing run's error", err)
+	}
+}
+
+func TestRunNErrSuccess(t *testing.T) {
+	got, err := RunNErr(10, 4, func(run int) (string, error) {
+		return fmt.Sprintf("r%d", run), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[7] != "r7" {
+		t.Fatalf("result[7] = %q", got[7])
+	}
+}
+
+func TestForEachPanicPropagatesLowestIndex(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r != "boom 2" {
+			t.Fatalf("recovered %v, want the lowest panicking index's value", r)
+		}
+	}()
+	ForEach(16, 8, func(i int) {
+		if i == 2 || i == 9 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+	})
+	t.Fatal("ForEach did not propagate the panic")
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want clamp to n", got)
+	}
+	if got := Workers(5, 100); got != 5 {
+		t.Fatalf("Workers(5, 100) = %d", got)
+	}
+}

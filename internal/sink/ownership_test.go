@@ -1,0 +1,75 @@
+package sink
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pnm/internal/marking"
+	"pnm/internal/mole"
+	"pnm/internal/packet"
+	"pnm/internal/topology"
+)
+
+// TestTrackerPerGoroutineOwnership documents the package's concurrency
+// contract (see the package doc): Tracker, Verifier and the resolvers are
+// single-goroutine objects. Correct concurrent use is one fully private
+// tracker chain per goroutine — sharing only the KeyStore, which is
+// synchronized — exactly how internal/parallel fans experiment runs out.
+// Under -race this test proves that discipline is race-free; it is the
+// misuse boundary's negative space (sharing one tracker or one
+// ExhaustiveResolver, whose per-report table cache is unsynchronized,
+// between the two goroutines here would trip the detector).
+func TestTrackerPerGoroutineOwnership(t *testing.T) {
+	scheme := marking.PNM{P: 0.3}
+	const n = 11
+	const goroutines = 2
+
+	run := func(seed int64) Verdict {
+		topo, err := topology.NewChain(n)
+		if err != nil {
+			t.Error(err)
+			return Verdict{}
+		}
+		// Private resolver + verifier + tracker; only testKS is shared.
+		resolver := NewExhaustiveResolver(testKS, topo.Nodes())
+		v, err := NewVerifier(scheme, testKS, n, resolver)
+		if err != nil {
+			t.Error(err)
+			return Verdict{}
+		}
+		tracker := NewTracker(v, topo)
+
+		rng := rand.New(rand.NewSource(seed))
+		src := &mole.Source{ID: n, Base: packet.Report{Event: 0xAA}, Behavior: mole.MarkNever}
+		menv := &mole.Env{Scheme: scheme}
+		for i := 0; i < 150; i++ {
+			msg := src.Next(menv, rng)
+			for _, id := range topo.Forwarders(packet.NodeID(n)) {
+				msg = scheme.Mark(id, testKS.Key(id), msg, rng)
+			}
+			tracker.Observe(msg)
+		}
+		return tracker.Verdict()
+	}
+
+	verdicts := make([]Verdict, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			verdicts[g] = run(int64(g) + 1)
+		}()
+	}
+	wg.Wait()
+
+	for g, v := range verdicts {
+		if !v.Identified {
+			t.Errorf("goroutine %d: source not identified: %+v", g, v)
+		}
+		if v.Stop != n-1 {
+			t.Errorf("goroutine %d: Stop = %v, want V%d", g, v.Stop, n-1)
+		}
+	}
+}

@@ -2,6 +2,17 @@
 // anonymous-ID resolution, route reconstruction via the relative-order
 // matrix, identity-swap loop detection, and mole localization to a one-hop
 // neighborhood.
+//
+// # Ownership
+//
+// Tracker, the resolvers and the verifiers are single-goroutine objects:
+// they carry unsynchronized mutable state (the order matrix, and
+// ExhaustiveResolver's per-report anonymous-ID table cache), so one
+// goroutine must own an instance for its lifetime. They must never be
+// shared across goroutines — not even a resolver between two trackers.
+// Concurrent experiments get their parallelism run-level instead: each run
+// constructs its own tracker chain (see internal/parallel), which is also
+// what a real deployment does — one sink, one tracker, one goroutine.
 package sink
 
 import (

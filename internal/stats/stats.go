@@ -45,6 +45,11 @@ func Percentile(xs []float64, q float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, q)
+}
+
+// percentileSorted is Percentile over an already-sorted sample.
+func percentileSorted(sorted []float64, q float64) float64 {
 	if q <= 0 {
 		return sorted[0]
 	}
@@ -72,29 +77,24 @@ type Summary struct {
 	P95    float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. The sample is copied and sorted
+// once; min, max and both percentiles read off the sorted slice.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
 		N:      len(xs),
 		Mean:   Mean(xs),
 		StdDev: StdDev(xs),
-		Min:    xs[0],
-		Max:    xs[0],
-		P50:    Percentile(xs, 50),
-		P95:    Percentile(xs, 95),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentileSorted(sorted, 50),
+		P95:    percentileSorted(sorted, 95),
 	}
-	for _, x := range xs {
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
-	}
-	return s
 }
 
 // CI95 returns the half-width of the 95% confidence interval of the mean.
