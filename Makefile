@@ -6,7 +6,7 @@ GO ?= go
 # GOMAXPROCS. Results are byte-identical for every value.
 WORKERS ?= 0
 
-.PHONY: all build test race vet bench ci figures examples clean
+.PHONY: all build test race vet lint bench ci figures examples clean
 
 all: build test
 
@@ -22,12 +22,22 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis: the determinism/ownership invariants
+# (wallclock, globalrand, maporder, ownership — see internal/lint) plus a
+# gofmt check. Fails on any diagnostic or unformatted file.
+lint:
+	$(GO) run ./cmd/pnmlint ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# What CI runs: build, vet, the full test suite, and the race detector
-# over the packages that exercise goroutines.
-ci: build vet test
+# What CI runs: build, vet, lint, the full test suite, and the race
+# detector over the packages that exercise goroutines.
+ci: build vet lint test
 	$(GO) test -race ./internal/netsim ./internal/mac ./internal/experiment ./internal/parallel ./internal/sink
 
 # Regenerate every paper figure/table into results/. Run-averaged

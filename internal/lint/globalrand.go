@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// GlobalRand rejects calls to math/rand's top-level functions (rand.Intn,
+// rand.Float64, rand.Shuffle, ...) in all non-test code. The global
+// source is shared process-wide state: two goroutines draw from it in
+// scheduler order, so any use makes results depend on the worker count
+// and interleaving. Randomness must instead flow from an explicit
+// rand.New(rand.NewSource(seed)) whose seed derives from the run index.
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) and methods on a
+// *rand.Rand are fine — those are exactly the sanctioned pattern.
+type GlobalRand struct{}
+
+// globalRandOK lists the math/rand package-level functions that do not
+// touch the shared global source.
+var globalRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Name implements Analyzer.
+func (*GlobalRand) Name() string { return "globalrand" }
+
+// Doc implements Analyzer.
+func (*GlobalRand) Doc() string {
+	return "no top-level math/rand functions; use rand.New(rand.NewSource(seed))"
+}
+
+// Run implements Analyzer.
+func (g *GlobalRand) Run(prog *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				if globalRandOK[fn.Name()] {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:      prog.Fset.Position(call.Pos()),
+					Analyzer: g.Name(),
+					Message: fmt.Sprintf("call to global rand.%s; draw from a "+
+						"rand.New(rand.NewSource(seed)) with an index-derived seed instead",
+						fn.Name()),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}

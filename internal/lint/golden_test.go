@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRx extracts the quoted expectations from a // want "..." comment.
+var wantRx = regexp.MustCompile(`want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+// quoteRx splits the quoted segments out of a want clause.
+var quoteRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want clause: a diagnostic substring that must
+// appear at a specific file:line.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// runFixture loads one testdata package and checks the analyzer's
+// diagnostics against the fixture's // want comments: every expectation
+// must be satisfied by a diagnostic on its line, and every diagnostic
+// must be claimed by an expectation.
+func runFixture(t *testing.T, fixture string, analyzer func(prog *Program) Analyzer) {
+	t.Helper()
+	prog, err := Load(".", filepath.Join("testdata", fixture))
+	if err != nil {
+		t.Fatalf("load %s: %v", fixture, err)
+	}
+	if len(prog.Pkgs) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", fixture, len(prog.Pkgs))
+	}
+
+	var wants []*expectation
+	for _, f := range prog.Pkgs[0].Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				for _, q := range quoteRx.FindAllStringSubmatch(m[1], -1) {
+					wants = append(wants, &expectation{
+						file:   pos.Filename,
+						line:   pos.Line,
+						substr: strings.ReplaceAll(q[1], `\"`, `"`),
+					})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments", fixture)
+	}
+
+	diags := Run(prog, analyzer(prog))
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+				strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: missing diagnostic containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestWallclockFixture(t *testing.T) {
+	runFixture(t, "wallclock", func(prog *Program) Analyzer {
+		return &Wallclock{Paths: []string{prog.Pkgs[0].Path}}
+	})
+}
+
+func TestGlobalRandFixture(t *testing.T) {
+	runFixture(t, "globalrand", func(*Program) Analyzer { return &GlobalRand{} })
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, "maporder", func(*Program) Analyzer { return &MapOrder{} })
+}
+
+func TestOwnershipFixture(t *testing.T) {
+	runFixture(t, "ownership", func(*Program) Analyzer { return &Ownership{} })
+}
+
+// TestFixturesFailUnderDefaultSuite asserts what `make lint` relies on:
+// pointing the CLI's default analyzer suite at any fixture yields
+// file:line diagnostics (nonzero exit), including the wallclock fixture,
+// whose import path opts into the deterministic set.
+func TestFixturesFailUnderDefaultSuite(t *testing.T) {
+	for _, fixture := range []string{"wallclock", "globalrand", "maporder", "ownership"} {
+		prog, err := Load(".", filepath.Join("testdata", fixture))
+		if err != nil {
+			t.Fatalf("load %s: %v", fixture, err)
+		}
+		diags := Run(prog, DefaultAnalyzers(prog.ModulePath)...)
+		if len(diags) == 0 {
+			t.Errorf("fixture %s: default suite found no diagnostics", fixture)
+		}
+		for _, d := range diags {
+			if d.Pos.Filename == "" || d.Pos.Line == 0 {
+				t.Errorf("fixture %s: diagnostic without file:line: %v", fixture, d)
+			}
+		}
+	}
+}
+
+// TestAllowSuppression covers both accepted annotation placements: same
+// line and the line directly above.
+func TestAllowSuppression(t *testing.T) {
+	src := `package x
+
+//pnmlint:allow wallclock above-line form
+var a = 1
+
+var b = 2 //pnmlint:allow maporder same-line form
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Package{}
+	p.recordAllows(fset, f)
+
+	cases := []struct {
+		name string
+		line int
+		want bool
+	}{
+		{"wallclock", 3, true},  // the annotation's own line
+		{"wallclock", 4, true},  // line under the annotation
+		{"wallclock", 5, false}, // two lines under: out of range
+		{"maporder", 6, true},   // same line
+		{"wallclock", 6, false}, // wrong analyzer
+	}
+	for _, c := range cases {
+		got := p.allowed(c.name, token.Position{Filename: "test.go", Line: c.line})
+		if got != c.want {
+			t.Errorf("line %d analyzer %s: allowed = %v, want %v", c.line, c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// loader resolves and type-checks packages. Module-internal import paths
+// map onto the repository tree; every other path is resolved from GOROOT
+// source, so the whole pipeline needs nothing beyond the stdlib and an
+// installed toolchain.
+type loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	ctxt       build.Context
+
+	pkgs    map[string]*entry // by import path
+	loading map[string]bool   // cycle detection
+	targets map[string]bool   // import paths requested for analysis
+}
+
+// entry caches one loaded package.
+type entry struct {
+	types *types.Package
+	ast   *Package // non-nil only for analyzed (module) packages
+	err   error
+}
+
+// Load parses and type-checks the packages matched by the patterns and
+// returns them ready for analysis. Patterns are directories relative to
+// baseDir; a trailing "/..." matches the directory and everything below
+// it, skipping testdata, vendor and hidden directories. The enclosing
+// module is discovered by walking up from baseDir to the nearest go.mod.
+func Load(baseDir string, patterns ...string) (*Program, error) {
+	abs, err := filepath.Abs(baseDir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:       token.NewFileSet(),
+		moduleRoot: root,
+		modulePath: modPath,
+		ctxt:       build.Default,
+		pkgs:       make(map[string]*entry),
+		loading:    make(map[string]bool),
+		targets:    make(map[string]bool),
+	}
+
+	var dirs []string
+	seen := make(map[string]bool)
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		start := pat
+		if !filepath.IsAbs(start) {
+			start = filepath.Join(abs, start)
+		}
+		if !recursive {
+			addDir(start)
+			continue
+		}
+		err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != start && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				addDir(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Register every target up front so a package first reached as a
+	// dependency of another target is still parsed for analysis.
+	paths := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: %s is outside module %s", dir, root)
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, path)
+		l.targets[path] = true
+	}
+
+	prog := &Program{Fset: l.fset, ModulePath: modPath}
+	for _, path := range paths {
+		e := l.load(path)
+		if e.err != nil {
+			return nil, e.err
+		}
+		if e.ast != nil {
+			prog.Pkgs = append(prog.Pkgs, e.ast)
+		}
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	prog.indexOwners()
+	return prog, nil
+}
+
+// hasGoFiles reports whether dir directly contains any non-test .go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer so the type-checker resolves
+// dependencies through the same cache as the top-level loads.
+func (l *loader) Import(path string) (*types.Package, error) {
+	e := l.load(path)
+	return e.types, e.err
+}
+
+// load returns the cached package for an import path, loading it (and,
+// recursively, its dependencies) on first use.
+func (l *loader) load(path string) *entry {
+	if path == "unsafe" {
+		return &entry{types: types.Unsafe}
+	}
+	if e, ok := l.pkgs[path]; ok {
+		return e
+	}
+	if l.loading[path] {
+		e := &entry{err: fmt.Errorf("lint: import cycle through %q", path)}
+		l.pkgs[path] = e
+		return e
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	module := path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")
+	var dir string
+	if module {
+		dir = filepath.Join(l.moduleRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")))
+	} else {
+		dir = filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path))
+	}
+	e := l.loadDir(dir, path, module && l.targets[path])
+	l.pkgs[path] = e
+	return e
+}
+
+// loadDir parses and type-checks the package in dir. Module packages are
+// parsed with comments and get full types.Info for analysis; dependency
+// packages are only type-checked.
+func (l *loader) loadDir(dir, path string, analyzed bool) *entry {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return &entry{err: fmt.Errorf("lint: %s: %v", path, err)}
+	}
+	if len(bp.CgoFiles) > 0 {
+		return &entry{err: fmt.Errorf("lint: %s: cgo packages are not supported", path)}
+	}
+	mode := parser.SkipObjectResolution
+	if analyzed {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return &entry{err: err}
+		}
+		files = append(files, f)
+	}
+
+	var info *types.Info
+	if analyzed {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor(l.ctxt.Compiler, l.ctxt.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return &entry{err: fmt.Errorf("lint: %s: %v", path, err)}
+	}
+	e := &entry{types: tpkg}
+	if analyzed {
+		p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+		for _, f := range files {
+			p.recordAllows(l.fset, f)
+		}
+		e.ast = p
+	}
+	return e
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` loops over maps whose iteration order can
+// leak into emitted output: bodies that write via fmt.Fprint*, build
+// CSV/table rows (Write*, AddRow), or append to a slice the enclosing
+// function returns. Go randomizes map iteration order per run, so any
+// such loop makes output bytes differ between invocations.
+//
+// The sanctioned pattern is exempt: collecting keys (or values) into a
+// slice that is passed to a sort.*/slices.Sort* call later in the same
+// block, then ranging over the sorted slice.
+type MapOrder struct{}
+
+// Name implements Analyzer.
+func (*MapOrder) Name() string { return "maporder" }
+
+// Doc implements Analyzer.
+func (*MapOrder) Doc() string {
+	return "no map-iteration order reaching output; collect and sort keys first"
+}
+
+// Run implements Analyzer.
+func (m *MapOrder) Run(prog *Program) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			file := f
+			ast.Inspect(f, func(n ast.Node) bool {
+				var stmts []ast.Stmt
+				switch b := n.(type) {
+				case *ast.BlockStmt:
+					stmts = b.List
+				case *ast.CaseClause:
+					stmts = b.Body
+				case *ast.CommClause:
+					stmts = b.Body
+				default:
+					return true
+				}
+				for i, st := range stmts {
+					for {
+						if ls, ok := st.(*ast.LabeledStmt); ok {
+							st = ls.Stmt
+							continue
+						}
+						break
+					}
+					rs, ok := st.(*ast.RangeStmt)
+					if !ok || !isMapRange(pkg.Info, rs) {
+						continue
+					}
+					out = append(out, m.checkLoop(prog, pkg, file, rs, stmts[i+1:])...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isMapRange reports whether rs ranges over a map-typed expression.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkLoop inspects one map-range body for order-sensitive sinks. rest
+// holds the statements following the loop in its enclosing block, scanned
+// for the sorted-afterwards exemption.
+func (m *MapOrder) checkLoop(prog *Program, pkg *Package, file *ast.File, rs *ast.RangeStmt, rest []ast.Stmt) []Diagnostic {
+	var out []Diagnostic
+	returned := returnedObjects(pkg.Info, file, rs.Pos())
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := emitCall(pkg.Info, e); ok {
+				out = append(out, Diagnostic{
+					Pos:      prog.Fset.Position(e.Pos()),
+					Analyzer: m.Name(),
+					Message: fmt.Sprintf("%s inside range over map: iteration order reaches "+
+						"output; collect and sort the keys first", name),
+				})
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range e.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pkg.Info, call) || i >= len(e.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(e.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil {
+					obj = pkg.Info.Defs[id]
+				}
+				if obj == nil || !returned[obj] {
+					continue
+				}
+				if sortedAfter(pkg.Info, rest, obj) {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      prog.Fset.Position(e.Pos()),
+					Analyzer: m.Name(),
+					Message: fmt.Sprintf("append to returned slice %q inside range over map: "+
+						"iteration order reaches the result; collect and sort the keys first "+
+						"(or sort %q before returning it)", id.Name, id.Name),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// emitCall reports whether call writes formatted output or builds rows:
+// fmt.Fprint*, any Write* method, or stats.Table-style AddRow.
+func emitCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "fmt" && len(fn.Name()) >= 6 && fn.Name()[:6] == "Fprint" {
+		return "fmt." + fn.Name(), true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if s, isMethod := info.Selections[sel]; !isMethod || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	switch name := sel.Sel.Name; name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "AddRow":
+		return "call to " + name, true
+	}
+	return "", false
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// returnedObjects collects the objects the function enclosing pos can
+// return: named result parameters plus identifiers appearing directly in
+// its return statements (nested function literals excluded).
+func returnedObjects(info *types.Info, file *ast.File, pos token.Pos) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	fn := funcFor(file, pos)
+	if fn == nil {
+		return out
+	}
+	var ftype *ast.FuncType
+	var body *ast.BlockStmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		ftype, body = f.Type, f.Body
+	case *ast.FuncLit:
+		ftype, body = f.Type, f.Body
+	}
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fn {
+			return false // returns inside nested literals are theirs
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether any statement in rest passes obj to a
+// sort.* or slices.Sort* call, the signal that iteration order was
+// deliberately erased before the slice is used.
+func sortedAfter(info *types.Info, rest []ast.Stmt, obj types.Object) bool {
+	for _, st := range rest {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			ast.Inspect(call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

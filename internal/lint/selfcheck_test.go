@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoLintsClean runs the full default analyzer suite over the whole
+// repository — exactly what `make lint` does — and requires zero
+// diagnostics. This is the invariant the suite exists for: the repo's own
+// deterministic packages stay free of wall-clock reads, global rand,
+// order-leaking map iteration and goroutine-crossing tracker use, with
+// every intentional exception carrying an allow annotation.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	if prog.ModulePath != "pnm" {
+		t.Fatalf("module path = %q, want pnm", prog.ModulePath)
+	}
+	if len(prog.Pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the ./... walk is dropping packages", len(prog.Pkgs))
+	}
+	for _, d := range Run(prog, DefaultAnalyzers(prog.ModulePath)...) {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}
+
+// TestDeterministicPackagesExist pins the wallclock analyzer's coverage
+// to real packages, so a rename cannot silently drop one from the rule.
+func TestDeterministicPackagesExist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	have := make(map[string]bool, len(prog.Pkgs))
+	for _, p := range prog.Pkgs {
+		have[p.Path] = true
+	}
+	for _, rel := range DeterministicPackages {
+		if path := prog.ModulePath + "/" + rel; !have[path] {
+			t.Errorf("deterministic package %s not found in the module", path)
+		}
+	}
+}
+
+// TestSingleGoroutineMarkersPresent asserts the sink package's ownership
+// contract is machine-readable: Tracker and both resolvers carry the
+// // pnmlint:single-goroutine marker the ownership analyzer enforces.
+func TestSingleGoroutineMarkersPresent(t *testing.T) {
+	prog, err := Load("../..", "./internal/sink")
+	if err != nil {
+		t.Fatalf("load sink: %v", err)
+	}
+	marked := markedTypes(prog)
+	names := make(map[string]bool, len(marked))
+	for tn := range marked {
+		names[tn.Pkg().Path()+"."+tn.Name()] = true
+	}
+	for _, want := range []string{
+		"pnm/internal/sink.Tracker",
+		"pnm/internal/sink.ExhaustiveResolver",
+		"pnm/internal/sink.TopologyResolver",
+	} {
+		if !names[want] {
+			var have []string
+			for n := range names {
+				have = append(have, n)
+			}
+			t.Errorf("%s lacks the // pnmlint:single-goroutine marker (marked: %s)",
+				want, strings.Join(have, ", "))
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package fixture exercises the globalrand analyzer.
+package fixture
+
+import "math/rand"
+
+// FromGlobal draws from the process-wide shared source: findings.
+func FromGlobal() (int, float64) {
+	n := rand.Intn(10)       // want "call to global rand.Intn"
+	f := rand.Float64()      // want "call to global rand.Float64"
+	rand.Shuffle(3, swap)    // want "call to global rand.Shuffle"
+	return n + rand.Int(), f // want "call to global rand.Int"
+}
+
+// FromSeeded is the sanctioned pattern: an explicit source with a
+// caller-derived seed, drawn from via methods. No findings.
+func FromSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	return rng.Intn(10) + int(z.Uint64())
+}
+
+func swap(i, j int) {}

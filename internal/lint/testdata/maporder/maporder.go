@@ -1,0 +1,65 @@
+// Package fixture exercises the maporder analyzer.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// EmitUnsorted writes rows in map order: findings.
+func EmitUnsorted(w io.Writer, counts map[string]int) {
+	var b strings.Builder
+	for name, n := range counts {
+		fmt.Fprintf(w, "%s,%d\n", name, n) // want "fmt.Fprintf inside range over map"
+		b.WriteString(name)                // want "call to WriteString inside range over map"
+	}
+	io.WriteString(w, b.String())
+}
+
+// RowsUnsorted returns rows built in map order: finding.
+func RowsUnsorted(counts map[string]int) []string {
+	var rows []string
+	for name, n := range counts {
+		rows = append(rows, fmt.Sprintf("%s,%d", name, n)) // want "append to returned slice \"rows\""
+	}
+	return rows
+}
+
+// RowsSortedKeys is the sanctioned pattern: collect the keys, sort them,
+// then range over the slice. The key-collection loop appends to a slice
+// that a sort call consumes, so it is exempt; the emitting loop ranges
+// over a slice, not a map. No findings.
+func RowsSortedKeys(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for name := range counts {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	rows := make([]string, 0, len(keys))
+	for _, name := range keys {
+		rows = append(rows, fmt.Sprintf("%s,%d", name, counts[name]))
+	}
+	return rows
+}
+
+// RowsSortedAfter builds in map order but sorts the result before
+// returning it, which erases the order again: no findings.
+func RowsSortedAfter(counts map[string]int) []string {
+	var rows []string
+	for name, n := range counts {
+		rows = append(rows, fmt.Sprintf("%s,%d", name, n))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+// Aggregate folds map values into an order-insensitive sum: no findings.
+func Aggregate(counts map[string]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,60 @@
+// Package fixture exercises the ownership analyzer.
+package fixture
+
+import "sync"
+
+// Tally is single-owner mutable state, like sink.Tracker.
+//
+// pnmlint:single-goroutine
+type Tally struct {
+	n int
+}
+
+// Add mutates unsynchronized state.
+func (t *Tally) Add() { t.n++ }
+
+// Total reads it back.
+func (t *Tally) Total() int { return t.n }
+
+// Shared leaks one instance into goroutines three ways: findings.
+func Shared() int {
+	t := &Tally{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go t.Add() // want "method Tally.Add used in a goroutine"
+	go func() {
+		defer wg.Done()
+		t.Add() // want "method Tally.Add used in a goroutine"
+	}()
+	go run(&wg, t.Add) // want "method Tally.Add used in a goroutine"
+	wg.Wait()
+	return t.Total()
+}
+
+// PerGoroutine builds a private instance inside each goroutine — the
+// sanctioned one-chain-per-goroutine pattern. No findings.
+func PerGoroutine() {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := &Tally{}
+			own.Add()
+			_ = own.Total()
+		}()
+	}
+	wg.Wait()
+}
+
+// Serial use on one goroutine is fine: no findings.
+func Serial() int {
+	t := &Tally{}
+	t.Add()
+	return t.Total()
+}
+
+func run(wg *sync.WaitGroup, f func()) {
+	defer wg.Done()
+	f()
+}

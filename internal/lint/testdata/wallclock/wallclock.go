@@ -1,0 +1,31 @@
+// Package fixture exercises the wallclock analyzer. Its import path is
+// registered in lint.DefaultAnalyzers' deterministic set so the CLI
+// demonstrates the rule when pointed here.
+package fixture
+
+import "time"
+
+// Elapsed reads the real clock twice; both reads are findings.
+func Elapsed() time.Duration {
+	start := time.Now() // want "call to time.Now"
+	work()
+	return time.Since(start) // want "call to time.Since"
+}
+
+// Remaining is a finding through time.Until as well.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "call to time.Until"
+}
+
+// Annotated is the sanctioned escape hatch: a justified, annotated read.
+func Annotated() time.Time {
+	//pnmlint:allow wallclock fixture demonstrates the annotation
+	return time.Now()
+}
+
+// Derived uses time values without reading the clock: no findings.
+func Derived(base time.Time, ticks int) time.Time {
+	return base.Add(time.Duration(ticks) * time.Millisecond)
+}
+
+func work() {}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock rejects real-time reads — time.Now, time.Since, time.Until —
+// inside the deterministic packages. The experiment pipeline's
+// byte-identical-results contract (internal/parallel) requires every
+// value that reaches output to be a pure function of configuration and
+// run-index-derived seeds; a wall-clock read silently breaks that for
+// every figure at once. Intentional timing measurements are annotated
+// with //pnmlint:allow wallclock <reason>.
+type Wallclock struct {
+	// Paths are the import paths held to the no-real-time rule.
+	Paths []string
+}
+
+// Name implements Analyzer.
+func (*Wallclock) Name() string { return "wallclock" }
+
+// Doc implements Analyzer.
+func (*Wallclock) Doc() string {
+	return "no time.Now/time.Since/time.Until in deterministic packages"
+}
+
+// Run implements Analyzer.
+func (w *Wallclock) Run(prog *Program) []Diagnostic {
+	covered := make(map[string]bool, len(w.Paths))
+	for _, p := range w.Paths {
+		covered[p] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !covered[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					out = append(out, Diagnostic{
+						Pos:      prog.Fset.Position(call.Pos()),
+						Analyzer: w.Name(),
+						Message: fmt.Sprintf("call to time.%s in deterministic package %s "+
+							"(derive values from seeds, or annotate with //pnmlint:allow wallclock <reason>)",
+							fn.Name(), pkg.Path),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// calleeFunc resolves a call's target to a package-level *types.Func,
+// following import renames; it returns nil for methods, builtins,
+// conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		// Method values have a Selection entry; package-qualified
+		// functions do not.
+		if _, isMethod := info.Selections[fun]; isMethod {
+			return nil
+		}
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	return fn
+}

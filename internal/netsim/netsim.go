@@ -247,11 +247,13 @@ func (n *Network) NodeStats(id packet.NodeID) node.Stats {
 // WaitDelivered blocks until the sink has processed at least want packets
 // or the timeout elapses.
 func (n *Network) WaitDelivered(want int, timeout time.Duration) error {
+	//pnmlint:allow wallclock real timeout while live goroutines deliver
 	deadline := time.Now().Add(timeout)
 	for {
 		if n.Delivered() >= want {
 			return nil
 		}
+		//pnmlint:allow wallclock real timeout while live goroutines deliver
 		if time.Now().After(deadline) {
 			return fmt.Errorf("netsim: delivered %d of %d before timeout", n.Delivered(), want)
 		}

@@ -136,7 +136,10 @@ func (s *System) MostUpstream() (packet.NodeID, bool) {
 	found := false
 	for d := range s.received {
 		for _, id := range s.Trace(d) {
-			if !found || s.topo.Depth(id) > s.topo.Depth(best) {
+			// Tie-break equal depths on node ID so the estimate does not
+			// depend on map iteration order over digests.
+			if !found || s.topo.Depth(id) > s.topo.Depth(best) ||
+				(s.topo.Depth(id) == s.topo.Depth(best) && id < best) {
 				best, found = id, true
 			}
 			break // Trace is sorted most upstream first

@@ -1,7 +1,11 @@
 package sink
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -70,6 +74,52 @@ func TestTrackerPerGoroutineOwnership(t *testing.T) {
 		}
 		if v.Stop != n-1 {
 			t.Errorf("goroutine %d: Stop = %v, want V%d", g, v.Stop, n-1)
+		}
+	}
+}
+
+// TestSingleGoroutineAnnotations asserts the ownership contract above is
+// machine-readable: Tracker and both resolvers must carry the
+// `// pnmlint:single-goroutine` marker in their declaration docs, which
+// is what lets cmd/pnmlint's ownership analyzer enforce the contract
+// instead of this comment merely describing it.
+func TestSingleGoroutineAnnotations(t *testing.T) {
+	want := map[string]string{
+		"Tracker":            "tracker.go",
+		"ExhaustiveResolver": "resolve.go",
+		"TopologyResolver":   "resolve.go",
+	}
+	fset := token.NewFileSet()
+	for typeName, file := range want {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		annotated := false
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != typeName {
+					continue
+				}
+				for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc} {
+					if doc == nil {
+						continue
+					}
+					for _, c := range doc.List {
+						if strings.Contains(c.Text, "pnmlint:single-goroutine") {
+							annotated = true
+						}
+					}
+				}
+			}
+		}
+		if !annotated {
+			t.Errorf("%s: type %s lacks the // pnmlint:single-goroutine annotation", file, typeName)
 		}
 	}
 }

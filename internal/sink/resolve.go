@@ -21,6 +21,10 @@ type Resolver interface {
 // report, compute the anonymous ID of every node in the network and build a
 // lookup table. The table is cached per report because the sink verifies a
 // packet's marks back to front against the same report.
+//
+// pnmlint:single-goroutine — the per-report table cache is unsynchronized;
+// one goroutine owns an instance for its lifetime (see the package doc's
+// Ownership section). The ownership analyzer enforces this.
 type ExhaustiveResolver struct {
 	keys  *mac.KeyStore
 	nodes []packet.NodeID
@@ -72,6 +76,10 @@ func (r *ExhaustiveResolver) buildTable(report packet.Report) {
 // states the idea for one-hop neighbors (exact for deterministic nested
 // marking); with probabilistic marking the gap between consecutive markers
 // averages 1/p hops and the search expands accordingly.
+//
+// pnmlint:single-goroutine — owned by one goroutine for its lifetime like
+// every sink-side object (see the package doc's Ownership section). The
+// ownership analyzer enforces this.
 type TopologyResolver struct {
 	keys *mac.KeyStore
 	topo *topology.Network

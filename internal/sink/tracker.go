@@ -45,6 +45,10 @@ type Verdict struct {
 
 // Tracker accumulates verification results across packets and produces
 // verdicts. It implements the route reconstruction algorithm of §4.2.
+//
+// pnmlint:single-goroutine — the order matrix is unsynchronized mutable
+// state; one goroutine owns an instance for its lifetime (see the package
+// doc's Ownership section). The ownership analyzer enforces this.
 type Tracker struct {
 	verifier Verifier
 	order    *Order
