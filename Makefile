@@ -6,7 +6,7 @@ GO ?= go
 # GOMAXPROCS. Results are byte-identical for every value.
 WORKERS ?= 0
 
-.PHONY: all build test race vet lint bench ci figures examples clean
+.PHONY: all build test race vet lint bench bench-resolver ci figures examples clean
 
 all: build test
 
@@ -35,10 +35,16 @@ lint:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Regenerate the committed resolver performance baseline. The counters in
+# the document are deterministic; only the ns_per_packet timings vary with
+# the machine.
+bench-resolver:
+	$(GO) run ./cmd/pnmsim -exp benchresolver > BENCH_resolver.json
+
 # What CI runs: build, vet, lint, the full test suite, and the race
 # detector over the packages that exercise goroutines.
 ci: build vet lint test
-	$(GO) test -race ./internal/netsim ./internal/mac ./internal/experiment ./internal/parallel ./internal/sink
+	$(GO) test -race ./internal/netsim ./internal/mac ./internal/experiment ./internal/parallel ./internal/sink ./internal/obs
 
 # Regenerate every paper figure/table into results/. Run-averaged
 # experiments fan out across $(WORKERS) workers; output is byte-identical

@@ -214,8 +214,50 @@ func BenchmarkAnonTableBuild(b *testing.B) {
 		// A fresh report defeats the cache, forcing a full table build.
 		rep := packet.Report{Event: 1, Seq: uint32(i + 1)}
 		anon := mac.AnonID(keys.Key(nodes[0]), rep, nodes[0])
-		resolver.Resolve(rep, anon, 0, false)
+		sink.ResolveAll(resolver, rep, anon, 0, false)
 	}
+}
+
+// benchInterleaved verifies an interleaved multi-source stream — consecutive
+// packets carry different reports — under an exhaustive resolver with the
+// given table-cache capacity. Capacity 1 reproduces the old single-report
+// cache; the default LRU capacity covers the live report working set.
+func benchInterleaved(b *testing.B, capacity int) {
+	topo, keys, scheme, _ := benchNet(b, 1024)
+	const sources = 8
+	rng := rand.New(rand.NewSource(11))
+	msgs := make([]packet.Message, sources)
+	for i := range msgs {
+		msg := packet.Message{Report: packet.Report{Event: 0xC, Location: uint32(i), Seq: 1}}
+		src := topo.DeepestNode()
+		for _, hop := range topo.Forwarders(src) {
+			msg = scheme.Mark(hop, keys.Key(hop), msg, rng)
+		}
+		msgs[i] = msg
+	}
+	v, err := sink.NewVerifier(scheme, keys, topo.NumNodes(),
+		sink.NewExhaustiveResolverCache(keys, topo.Nodes(), capacity))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Round-robin across sources: every packet switches reports.
+		v.Verify(msgs[i%len(msgs)])
+	}
+}
+
+// BenchmarkVerifyInterleavedSingleEntry measures the pre-LRU behavior: a
+// capacity-1 table cache rebuilds the O(n) anonymous-ID table on every
+// packet of an interleaved multi-source stream.
+func BenchmarkVerifyInterleavedSingleEntry(b *testing.B) {
+	benchInterleaved(b, 1)
+}
+
+// BenchmarkVerifyInterleavedLRU measures the same stream with the default
+// LRU capacity, which holds every live report's table.
+func BenchmarkVerifyInterleavedLRU(b *testing.B) {
+	benchInterleaved(b, sink.DefaultTableCacheSize)
 }
 
 // BenchmarkSinkVerifyPNM measures full packet verification with the

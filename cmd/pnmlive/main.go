@@ -6,15 +6,24 @@
 // Usage:
 //
 //	pnmlive -nodes 300 -side 10 -range 1.3 -packets 400 -quarantine
+//
+// -debug ADDR serves net/http/pprof plus the simulator's obs counters
+// (expvar, under the "pnm" key) on ADDR for the lifetime of the run, and
+// dumps the counters to stderr at the end.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pnm/internal/analytic"
@@ -22,6 +31,7 @@ import (
 	"pnm/internal/marking"
 	"pnm/internal/mole"
 	"pnm/internal/netsim"
+	"pnm/internal/obs"
 	"pnm/internal/packet"
 	"pnm/internal/topology"
 )
@@ -31,6 +41,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pnmlive:", err)
 		os.Exit(1)
 	}
+}
+
+// debugReg is the registry the expvar "pnm" variable reads. The variable
+// can only be published once per process, while run may execute several
+// times under test, so the published closure indirects through this
+// pointer.
+var (
+	debugOnce sync.Once
+	debugReg  atomic.Pointer[obs.Registry]
+)
+
+// publishDebug points the expvar "pnm" variable at reg.
+func publishDebug(reg *obs.Registry) {
+	debugReg.Store(reg)
+	debugOnce.Do(func() {
+		expvar.Publish("pnm", expvar.Func(func() any { return debugReg.Load().Map() }))
+	})
+}
+
+// netListen binds the debug address eagerly so a bad -debug value fails
+// the run instead of dying silently inside the serving goroutine. (The
+// net package name is shadowed by the simulator handle inside run.)
+func netListen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
 }
 
 // run executes the live scenario.
@@ -44,9 +78,24 @@ func run(args []string, w io.Writer) error {
 		seed       = fs.Int64("seed", 1, "RNG seed")
 		loss       = fs.Float64("loss", 0, "per-link loss probability")
 		quarantine = fs.Bool("quarantine", false, "isolate the suspected neighborhood once identified")
+		debugAddr  = fs.String("debug", "", "serve pprof and expvar obs counters on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The obs registry is always live; -debug additionally publishes it.
+	reg := obs.New()
+	if *debugAddr != "" {
+		publishDebug(reg)
+		ln, err := netListen(*debugAddr)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: http.DefaultServeMux}
+		defer srv.Close()
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
 	}
 
 	topo, err := topology.NewRandomGeometric(topology.GeometricConfig{
@@ -67,6 +116,7 @@ func run(args []string, w io.Writer) error {
 		Topo: topo, Keys: keys, Scheme: scheme, Seed: *seed, Env: env,
 		LossProb:         *loss,
 		TopologyResolver: true,
+		Obs:              reg,
 		Blacklisted: func(id packet.NodeID) bool {
 			mu.Lock()
 			defer mu.Unlock()
@@ -121,6 +171,10 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "\nfinal verdict: stop %v, suspects %v, identified=%v\n", v.Stop, v.Suspects, v.Identified)
 	if v.SuspectsContain(moleID) {
 		fmt.Fprintln(w, "the mole is inside the suspected neighborhood")
+	}
+	if *debugAddr != "" {
+		fmt.Fprintln(os.Stderr, "\nobs counters:")
+		reg.Fprint(os.Stderr)
 	}
 	return nil
 }

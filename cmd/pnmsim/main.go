@@ -2,11 +2,13 @@
 //
 // Usage:
 //
-//	pnmsim -exp fig4|fig5|fig6|fig7|matrix|headline|ablate|resolve|filter [flags]
+//	pnmsim -exp fig4|fig5|fig6|fig7|matrix|headline|ablate|resolve|benchresolver|filter [flags]
 //
-// Output is CSV for the figure experiments (pipe into a plotter) or an
-// aligned text table for the tabular ones. -plot renders a crude ASCII
-// plot instead of CSV.
+// Output is CSV for the figure experiments (pipe into a plotter), an
+// aligned text table for the tabular ones, or JSON for benchresolver
+// (redirect into BENCH_resolver.json). -plot renders a crude ASCII plot
+// instead of CSV. -stats dumps the sink chain's obs counters to stderr
+// after instrumented experiments (resolve).
 //
 // Run-averaged experiments fan their independent runs across -workers
 // goroutines (default GOMAXPROCS). Every run derives its seed purely from
@@ -23,6 +25,7 @@ import (
 	"runtime"
 
 	"pnm/internal/experiment"
+	"pnm/internal/obs"
 	"pnm/internal/stats"
 )
 
@@ -37,11 +40,12 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pnmsim", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, matrix, headline, ablate, resolve, filter, related, precision, overhead, multisource, background, dynamics, molepos")
+		exp     = fs.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, matrix, headline, ablate, resolve, benchresolver, filter, related, precision, overhead, multisource, background, dynamics, molepos")
 		runs    = fs.Int("runs", 0, "override the run count (0 = experiment default)")
 		seed    = fs.Int64("seed", 0, "override the RNG seed (0 = experiment default)")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for run-parallel experiments (<= 0 = GOMAXPROCS); results are identical for every value")
 		plot    = fs.Bool("plot", false, "render figures as ASCII plots instead of CSV")
+		statsF  = fs.Bool("stats", false, "dump obs counters to stderr after instrumented experiments (resolve)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,11 +121,37 @@ func run(args []string, w io.Writer) error {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
+		var reg *obs.Registry
+		if *statsF {
+			reg = obs.New()
+			cfg.Obs = reg
+		}
 		rows, err := experiment.ResolveComparison(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, experiment.RenderResolve(rows))
+		if reg != nil {
+			fmt.Fprintln(os.Stderr, "obs counters (all sizes, both resolvers):")
+			reg.Fprint(os.Stderr)
+		}
+		return nil
+	case "benchresolver":
+		// Serial for the same reason as resolve: the rows report wall-clock
+		// nanoseconds per packet.
+		cfg := experiment.DefaultResolverBench()
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := experiment.ResolverBench(cfg)
+		if err != nil {
+			return err
+		}
+		doc, err := experiment.RenderResolverBench(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, doc)
 		return nil
 	case "filter":
 		cfg := experiment.DefaultFilterCompare()

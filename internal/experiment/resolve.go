@@ -9,6 +9,7 @@ import (
 	"pnm/internal/analytic"
 	"pnm/internal/mac"
 	"pnm/internal/marking"
+	"pnm/internal/obs"
 	"pnm/internal/packet"
 	"pnm/internal/sink"
 	"pnm/internal/stats"
@@ -41,6 +42,9 @@ type ResolveConfig struct {
 	Packets int
 	// Seed drives the topology and marking.
 	Seed int64
+	// Obs, when non-nil, accumulates the sink chain's counters across
+	// every size and resolver (pnmsim -stats).
+	Obs *obs.Registry
 }
 
 // DefaultResolve returns sizes up to the paper's "few thousand nodes".
@@ -82,11 +86,11 @@ func ResolveComparison(cfg ResolveConfig) ([]ResolveRow, error) {
 			msgs[i] = msg
 		}
 
-		exh, err := timeVerify(scheme, keys, topo, sink.NewExhaustiveResolver(keys, topo.Nodes()), msgs)
+		exh, err := timeVerify(scheme, keys, topo, sink.NewExhaustiveResolver(keys, topo.Nodes()), msgs, cfg.Obs)
 		if err != nil {
 			return nil, err
 		}
-		topoT, err := timeVerify(scheme, keys, topo, sink.NewTopologyResolver(keys, topo), msgs)
+		topoT, err := timeVerify(scheme, keys, topo, sink.NewTopologyResolver(keys, topo), msgs, cfg.Obs)
 		if err != nil {
 			return nil, err
 		}
@@ -123,10 +127,13 @@ func geometricOfSize(n int, seed int64) (*topology.Network, error) {
 }
 
 // timeVerify measures mean verification time per packet.
-func timeVerify(scheme marking.Scheme, keys *mac.KeyStore, topo *topology.Network, r sink.Resolver, msgs []packet.Message) (time.Duration, error) {
+func timeVerify(scheme marking.Scheme, keys *mac.KeyStore, topo *topology.Network, r sink.Resolver, msgs []packet.Message, reg *obs.Registry) (time.Duration, error) {
 	v, err := sink.NewVerifier(scheme, keys, topo.NumNodes(), r)
 	if err != nil {
 		return 0, err
+	}
+	if ins, ok := v.(sink.Instrumentable); ok && reg != nil {
+		ins.Instrument(reg)
 	}
 	//pnmlint:allow wallclock E7/E8 report real verification latency per packet
 	start := time.Now()

@@ -181,6 +181,7 @@ var DeterministicPackages = []string{
 	"internal/sink",
 	"internal/parallel",
 	"internal/netsim",
+	"internal/obs",
 }
 
 // DefaultAnalyzers returns the standard pnm analyzer suite for a module.

@@ -50,11 +50,16 @@ func Load(baseDir string, patterns ...string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctxt := build.Default
+	// Type-check cgo-capable stdlib packages (net, os/user) through their
+	// pure-Go fallbacks: the analyzers only need declarations, and cgo
+	// sources cannot be parsed without a C toolchain.
+	ctxt.CgoEnabled = false
 	l := &loader{
 		fset:       token.NewFileSet(),
 		moduleRoot: root,
 		modulePath: modPath,
-		ctxt:       build.Default,
+		ctxt:       ctxt,
 		pkgs:       make(map[string]*entry),
 		loading:    make(map[string]bool),
 		targets:    make(map[string]bool),
@@ -208,6 +213,14 @@ func (l *loader) load(path string) *entry {
 		dir = filepath.Join(l.moduleRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")))
 	} else {
 		dir = filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path))
+		if _, err := os.Stat(dir); err != nil {
+			// Stdlib dependencies on golang.org/x/* (crypto, net, text)
+			// are vendored into GOROOT; net/http and friends need them.
+			vendored := filepath.Join(runtime.GOROOT(), "src", "vendor", filepath.FromSlash(path))
+			if _, err := os.Stat(vendored); err == nil {
+				dir = vendored
+			}
+		}
 	}
 	e := l.loadDir(dir, path, module && l.targets[path])
 	l.pkgs[path] = e

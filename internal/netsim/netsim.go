@@ -19,6 +19,7 @@ import (
 	"pnm/internal/marking"
 	"pnm/internal/mole"
 	"pnm/internal/node"
+	"pnm/internal/obs"
 	"pnm/internal/packet"
 	"pnm/internal/sink"
 	"pnm/internal/topology"
@@ -59,6 +60,10 @@ type Config struct {
 	Blacklisted func(packet.NodeID) bool
 	// Energy, when non-nil, accounts each node's radio spend.
 	Energy *energy.Model
+	// Obs, when non-nil, binds the simulator's counters (netsim.*) and the
+	// whole sink chain's (sink.*, via Tracker.Instrument) into the
+	// registry.
+	Obs *obs.Registry
 }
 
 // transmission is one radio frame in flight.
@@ -76,12 +81,31 @@ type Network struct {
 	stop   chan struct{}
 	wg     sync.WaitGroup
 
+	// injectRng draws the loss decision for injected packets' first radio
+	// hop. Node goroutines own private RNGs; injection can come from any
+	// goroutine, so its draws serialize under injectMu.
+	injectMu  sync.Mutex
+	injectRng *rand.Rand
+
 	mu        sync.Mutex
 	tracker   *sink.Tracker
 	delivered int
+	// deliveredCh is closed and replaced under mu on every delivery, so
+	// WaitDelivered can block instead of polling.
+	deliveredCh chan struct{}
+
+	// obs bindings; nil (no-op) unless cfg.Obs was set.
+	obsDelivered        *obs.Counter
+	obsRadioLost        *obs.Counter
+	obsQueueFullBlocks  *obs.Counter
+	obsBlacklistRefused *obs.Counter
 
 	closeOnce sync.Once
 }
+
+// injectSeedSalt separates the injection RNG's stream from the per-node
+// streams, which are salted with the node ID.
+const injectSeedSalt = 0x51B5_D3F0_19C6_A7E3
 
 // errClosed reports injection into a stopped network.
 var errClosed = errors.New("netsim: network closed")
@@ -109,12 +133,21 @@ func Start(cfg Config) (*Network, error) {
 	}
 
 	n := &Network{
-		cfg:     cfg,
-		nodes:   make(map[packet.NodeID]*node.Node, cfg.Topo.NumNodes()),
-		inbox:   make(map[packet.NodeID]chan transmission, cfg.Topo.NumNodes()),
-		sinkCh:  make(chan transmission, cfg.QueueLen),
-		stop:    make(chan struct{}),
-		tracker: sink.NewTracker(verifier, cfg.Topo),
+		cfg:         cfg,
+		nodes:       make(map[packet.NodeID]*node.Node, cfg.Topo.NumNodes()),
+		inbox:       make(map[packet.NodeID]chan transmission, cfg.Topo.NumNodes()),
+		sinkCh:      make(chan transmission, cfg.QueueLen),
+		stop:        make(chan struct{}),
+		tracker:     sink.NewTracker(verifier, cfg.Topo),
+		injectRng:   rand.New(rand.NewSource(cfg.Seed ^ injectSeedSalt)),
+		deliveredCh: make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		n.obsDelivered = cfg.Obs.Counter("netsim.delivered")
+		n.obsRadioLost = cfg.Obs.Counter("netsim.radio_lost")
+		n.obsQueueFullBlocks = cfg.Obs.Counter("netsim.queue_full_blocks")
+		n.obsBlacklistRefused = cfg.Obs.Counter("netsim.blacklist_refused")
+		n.tracker.Instrument(cfg.Obs)
 	}
 	for _, id := range cfg.Topo.Nodes() {
 		n.inbox[id] = make(chan transmission, cfg.QueueLen)
@@ -174,6 +207,12 @@ func (n *Network) runSink() {
 			if n.cfg.Blacklisted == nil || !n.cfg.Blacklisted(tx.from) {
 				n.tracker.Observe(tx.msg)
 				n.delivered++
+				n.obsDelivered.Inc()
+				// Wake every WaitDelivered blocked on the old channel.
+				close(n.deliveredCh)
+				n.deliveredCh = make(chan struct{})
+			} else {
+				n.obsBlacklistRefused.Inc()
 			}
 			n.mu.Unlock()
 		}
@@ -183,6 +222,7 @@ func (n *Network) runSink() {
 // send transmits msg over the link to hop, subject to loss.
 func (n *Network) send(from, hop packet.NodeID, msg packet.Message, rng *rand.Rand) {
 	if n.cfg.LossProb > 0 && rng.Float64() < n.cfg.LossProb {
+		n.obsRadioLost.Inc()
 		return // lost on the air
 	}
 	var ch chan transmission
@@ -191,19 +231,39 @@ func (n *Network) send(from, hop packet.NodeID, msg packet.Message, rng *rand.Ra
 	} else {
 		ch = n.inbox[hop]
 	}
+	tx := transmission{from: from, msg: msg}
 	select {
-	case ch <- transmission{from: from, msg: msg}:
+	case ch <- tx:
+		return
+	default:
+		// Receiver's queue is full: count the stall, then block.
+		n.obsQueueFullBlocks.Inc()
+	}
+	select {
+	case ch <- tx:
 	case <-n.stop:
 	}
 }
 
-// Inject transmits msg from src toward the sink (src's own radio hop, also
-// subject to loss). It is safe from any goroutine.
+// Inject transmits msg from src toward the sink. The source's own radio
+// hop is as lossy as any other link: the loss decision draws from a
+// dedicated injection RNG (node RNGs are goroutine-private), and a lost
+// packet returns nil — radio loss is not an injection error. It is safe
+// from any goroutine.
 func (n *Network) Inject(src packet.NodeID, msg packet.Message) error {
 	select {
 	case <-n.stop:
 		return errClosed
 	default:
+	}
+	if n.cfg.LossProb > 0 {
+		n.injectMu.Lock()
+		lost := n.injectRng.Float64() < n.cfg.LossProb
+		n.injectMu.Unlock()
+		if lost {
+			n.obsRadioLost.Inc()
+			return nil // lost on the air
+		}
 	}
 	hop := n.cfg.Topo.Parent(src)
 	var ch chan transmission
@@ -245,19 +305,28 @@ func (n *Network) NodeStats(id packet.NodeID) node.Stats {
 }
 
 // WaitDelivered blocks until the sink has processed at least want packets
-// or the timeout elapses.
+// or the timeout elapses. It parks on a delivery-notification channel the
+// sink goroutine broadcasts on, so waiting consumes no CPU; the only
+// wall-clock dependence is the timeout itself.
 func (n *Network) WaitDelivered(want int, timeout time.Duration) error {
 	//pnmlint:allow wallclock real timeout while live goroutines deliver
-	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for {
-		if n.Delivered() >= want {
+		n.mu.Lock()
+		got := n.delivered
+		ch := n.deliveredCh
+		n.mu.Unlock()
+		if got >= want {
 			return nil
 		}
-		//pnmlint:allow wallclock real timeout while live goroutines deliver
-		if time.Now().After(deadline) {
+		select {
+		case <-ch:
+		case <-timer.C:
 			return fmt.Errorf("netsim: delivered %d of %d before timeout", n.Delivered(), want)
+		case <-n.stop:
+			return fmt.Errorf("netsim: network closed after %d of %d deliveries", n.Delivered(), want)
 		}
-		time.Sleep(time.Millisecond)
 	}
 }
 

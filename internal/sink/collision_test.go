@@ -8,7 +8,7 @@ import (
 	"pnm/internal/packet"
 )
 
-// stubResolver returns a fixed candidate list regardless of the query,
+// stubResolver streams a fixed candidate list regardless of the query,
 // simulating truncated-anonymous-ID collisions.
 type stubResolver struct {
 	candidates []packet.NodeID
@@ -16,9 +16,13 @@ type stubResolver struct {
 }
 
 // Resolve implements Resolver.
-func (s *stubResolver) Resolve(_ packet.Report, _ [packet.AnonIDLen]byte, _ packet.NodeID, _ bool) []packet.NodeID {
+func (s *stubResolver) Resolve(_ packet.Report, _ [packet.AnonIDLen]byte, _ packet.NodeID, _ bool, yield func(packet.NodeID) bool) {
 	s.calls++
-	return s.candidates
+	for _, id := range s.candidates {
+		if yield(id) {
+			return
+		}
+	}
 }
 
 // TestAnonCollisionDisambiguatedByMAC: when the resolver returns several

@@ -2,6 +2,7 @@ package sink
 
 import (
 	"pnm/internal/mac"
+	"pnm/internal/obs"
 	"pnm/internal/packet"
 	"pnm/internal/topology"
 )
@@ -9,57 +10,150 @@ import (
 // Resolver maps an anonymous mark ID back to candidate real node IDs for a
 // given report. Anonymous IDs are truncated, so several nodes can collide;
 // the verifier disambiguates by checking the MAC under each candidate key.
+//
+// Candidates stream to the caller instead of being returned as a slice so
+// a resolver can search lazily (the §7 topology-restricted search expands
+// outward depth by depth) and stop the moment the caller accepts one. The
+// resolver must keep producing candidates until the caller accepts or the
+// candidate space is exhausted: a truncated-ID collision at a shallow
+// depth must never hide the true, deeper marker.
 type Resolver interface {
-	// Resolve returns the candidate real IDs for anon under report. prev is
-	// the already-verified node one mark downstream (the hint the paper's
-	// §7 O(d) optimization uses); havePrev is false for the last mark in a
+	// Resolve calls yield for each candidate real ID for anon under
+	// report, cheapest candidates first, and stops early when yield
+	// returns true (the caller accepted the candidate). prev is the
+	// already-verified node one mark downstream (the hint the paper's §7
+	// O(d) optimization uses); havePrev is false for the last mark in a
 	// packet.
-	Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool) []packet.NodeID
+	Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool, yield func(packet.NodeID) bool)
 }
+
+// ResolveAll drains a resolver's full candidate stream into a slice —
+// convenience for tests and tools; the verifier hot path streams instead.
+func ResolveAll(r Resolver, report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool) []packet.NodeID {
+	var out []packet.NodeID
+	r.Resolve(report, anon, prev, havePrev, func(id packet.NodeID) bool {
+		out = append(out, id)
+		return false
+	})
+	return out
+}
+
+// anonIDFunc computes a node's anonymous ID for a report. It is a seam:
+// production code always uses mac.AnonID; tests substitute a colliding
+// function to manufacture truncated-ID collisions at chosen nodes without
+// searching for real HMAC collisions.
+type anonIDFunc func(k mac.Key, report packet.Report, id packet.NodeID) [packet.AnonIDLen]byte
+
+// DefaultTableCacheSize is the per-resolver anonymous-ID table cache
+// capacity. Interleaved traffic from several sources (each source's
+// retransmissions sharing a report) revisits a small working set of
+// reports; a handful of cached tables turns the per-packet O(n) rebuild
+// into a lookup.
+const DefaultTableCacheSize = 16
 
 // ExhaustiveResolver implements the paper's base method: for each distinct
 // report, compute the anonymous ID of every node in the network and build a
-// lookup table. The table is cached per report because the sink verifies a
-// packet's marks back to front against the same report.
+// lookup table. Tables are cached in a small deterministic LRU keyed by
+// report: the sink verifies a packet's marks back to front against one
+// report, and interleaved multi-source traffic cycles through a few live
+// reports at a time, so a short cache eliminates per-packet rebuilds.
 //
 // pnmlint:single-goroutine — the per-report table cache is unsynchronized;
 // one goroutine owns an instance for its lifetime (see the package doc's
 // Ownership section). The ownership analyzer enforces this.
 type ExhaustiveResolver struct {
-	keys  *mac.KeyStore
-	nodes []packet.NodeID
+	keys   *mac.KeyStore
+	nodes  []packet.NodeID
+	anonID anonIDFunc
 
-	lastReport packet.Report
-	haveTable  bool
-	table      map[[packet.AnonIDLen]byte][]packet.NodeID
+	// cache holds the most recently used tables, most recent first.
+	cache    []tableEntry
+	cacheCap int
+
+	// obs bindings; nil (no-op) unless Instrument was called.
+	tableBuilds *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	candidates  *obs.Counter
 }
 
-// NewExhaustiveResolver returns a resolver over the given node universe.
+// tableEntry is one cached per-report anonymous-ID table.
+type tableEntry struct {
+	report packet.Report
+	table  map[[packet.AnonIDLen]byte][]packet.NodeID
+}
+
+// NewExhaustiveResolver returns a resolver over the given node universe
+// with the default table cache size.
 func NewExhaustiveResolver(keys *mac.KeyStore, nodes []packet.NodeID) *ExhaustiveResolver {
+	return NewExhaustiveResolverCache(keys, nodes, DefaultTableCacheSize)
+}
+
+// NewExhaustiveResolverCache returns a resolver with an explicit table
+// cache capacity. Capacity 1 reproduces the pre-LRU single-report cache —
+// the interleaved-multisource benchmark uses it as its baseline.
+func NewExhaustiveResolverCache(keys *mac.KeyStore, nodes []packet.NodeID, capacity int) *ExhaustiveResolver {
+	if capacity < 1 {
+		capacity = 1
+	}
 	ns := make([]packet.NodeID, len(nodes))
 	copy(ns, nodes)
-	return &ExhaustiveResolver{keys: keys, nodes: ns}
+	return &ExhaustiveResolver{keys: keys, nodes: ns, anonID: mac.AnonID, cacheCap: capacity}
 }
 
-// Resolve implements Resolver. The prev hint is ignored.
-func (r *ExhaustiveResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, _ packet.NodeID, _ bool) []packet.NodeID {
-	if !r.haveTable || r.lastReport != report {
-		r.buildTable(report)
+// Instrument binds the resolver's counters into reg.
+func (r *ExhaustiveResolver) Instrument(reg *obs.Registry) {
+	r.tableBuilds = reg.Counter("sink.resolver.table_builds")
+	r.cacheHits = reg.Counter("sink.resolver.cache_hits")
+	r.cacheMisses = reg.Counter("sink.resolver.cache_misses")
+	r.candidates = reg.Counter("sink.resolver.candidates")
+}
+
+// Resolve implements Resolver. The prev hint is ignored: the table already
+// narrows candidates to exact anonymous-ID matches.
+func (r *ExhaustiveResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, _ packet.NodeID, _ bool, yield func(packet.NodeID) bool) {
+	for _, id := range r.lookup(report)[anon] {
+		r.candidates.Inc()
+		if yield(id) {
+			return
+		}
 	}
-	return r.table[anon]
+}
+
+// lookup returns the table for report, serving it from the LRU cache or
+// building and inserting it.
+func (r *ExhaustiveResolver) lookup(report packet.Report) map[[packet.AnonIDLen]byte][]packet.NodeID {
+	for i := range r.cache {
+		if r.cache[i].report == report {
+			r.cacheHits.Inc()
+			if i > 0 { // move to front
+				e := r.cache[i]
+				copy(r.cache[1:i+1], r.cache[:i])
+				r.cache[0] = e
+			}
+			return r.cache[0].table
+		}
+	}
+	r.cacheMisses.Inc()
+	table := r.buildTable(report)
+	if len(r.cache) < r.cacheCap {
+		r.cache = append(r.cache, tableEntry{})
+	}
+	copy(r.cache[1:], r.cache[:len(r.cache)-1])
+	r.cache[0] = tableEntry{report: report, table: table}
+	return table
 }
 
 // buildTable computes the full anonymous-ID table for one report — the
 // operation whose feasibility §4.2 argues from hash throughput.
-func (r *ExhaustiveResolver) buildTable(report packet.Report) {
+func (r *ExhaustiveResolver) buildTable(report packet.Report) map[[packet.AnonIDLen]byte][]packet.NodeID {
+	r.tableBuilds.Inc()
 	table := make(map[[packet.AnonIDLen]byte][]packet.NodeID, len(r.nodes))
 	for _, id := range r.nodes {
-		a := mac.AnonID(r.keys.Key(id), report, id)
+		a := r.anonID(r.keys.Key(id), report, id)
 		table[a] = append(table[a], id)
 	}
-	r.lastReport = report
-	r.haveTable = true
-	r.table = table
+	return table
 }
 
 // TopologyResolver implements the §7 optimization: the sink knows the
@@ -69,22 +163,37 @@ func (r *ExhaustiveResolver) buildTable(report packet.Report) {
 // Two facts bound the search. First, the marker of a hinted mark must lie
 // strictly upstream of the previously verified node — inside that node's
 // routing subtree — so the resolver walks the subtree outward from the
-// hint and stops at the first match. Second, for the packet's most
-// downstream (unhinted) mark, the marker is typically within ~1/p hops of
-// the sink, so a breadth-first expansion from the sink finds it after
-// touching a small, depth-ordered fraction of the network. The paper
-// states the idea for one-hop neighbors (exact for deterministic nested
-// marking); with probabilistic marking the gap between consecutive markers
-// averages 1/p hops and the search expands accordingly.
+// hint. Second, for the packet's most downstream (unhinted) mark, the
+// marker is typically within ~1/p hops of the sink, so a breadth-first
+// expansion from the sink finds it after touching a small, depth-ordered
+// fraction of the network. The paper states the idea for one-hop neighbors
+// (exact for deterministic nested marking); with probabilistic marking the
+// gap between consecutive markers averages 1/p hops and the search expands
+// accordingly.
+//
+// The search streams every anonymous-ID match to the caller in BFS order
+// and keeps expanding until the caller accepts one. Stopping at the first
+// matching depth would diverge from the exhaustive base method: a
+// truncated-ID collision at a shallower depth would shadow the true,
+// deeper marker, its MAC check would fail, and an honest chain would be
+// reported stopped. Honest traffic still pays only O(d·depth) — the true
+// marker is the shallowest match almost always, and the caller accepts it
+// immediately; the full-subtree sweep happens only for genuinely invalid
+// marks, which the base method pays O(n) for as well.
 //
 // pnmlint:single-goroutine — owned by one goroutine for its lifetime like
 // every sink-side object (see the package doc's Ownership section). The
 // ownership analyzer enforces this.
 type TopologyResolver struct {
-	keys *mac.KeyStore
-	topo *topology.Network
+	keys   *mac.KeyStore
+	topo   *topology.Network
+	anonID anonIDFunc
 	// children is the routing tree's downlink adjacency, built once.
 	children map[packet.NodeID][]packet.NodeID
+
+	// obs bindings; nil (no-op) unless Instrument was called.
+	probes     *obs.Counter
+	candidates *obs.Counter
 }
 
 // NewTopologyResolver returns a resolver that exploits the known topology.
@@ -94,34 +203,42 @@ func NewTopologyResolver(keys *mac.KeyStore, topo *topology.Network) *TopologyRe
 		parent := topo.Parent(id)
 		children[parent] = append(children[parent], id)
 	}
-	return &TopologyResolver{keys: keys, topo: topo, children: children}
+	return &TopologyResolver{keys: keys, topo: topo, anonID: mac.AnonID, children: children}
+}
+
+// Instrument binds the resolver's counters into reg.
+func (r *TopologyResolver) Instrument(reg *obs.Registry) {
+	r.probes = reg.Counter("sink.resolver.probes")
+	r.candidates = reg.Counter("sink.resolver.candidates")
 }
 
 // Resolve implements Resolver.
-func (r *TopologyResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool) []packet.NodeID {
+func (r *TopologyResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool, yield func(packet.NodeID) bool) {
 	start := prev
 	if !havePrev {
 		// The most downstream mark: search the whole routing tree outward
 		// from the sink; the marker usually sits within ~1/p hops.
 		start = packet.SinkID
 	}
-	// BFS through the routing subtree of start. Matching nodes at the same
-	// depth are returned together so truncated-anon-ID collisions within a
-	// level stay disambiguated by the caller's MAC check.
-	frontier := r.children[start]
+	// BFS through the routing subtree of start, streaming matches in
+	// depth order. The expansion continues past levels whose matches the
+	// caller rejects — see the type comment on collision robustness. The
+	// two level buffers are swapped between iterations, so the initial
+	// frontier must be a copy: children's slices are shared state.
+	frontier := append([]packet.NodeID(nil), r.children[start]...)
+	var next []packet.NodeID
 	for len(frontier) > 0 {
-		var out []packet.NodeID
-		var next []packet.NodeID
+		next = next[:0]
 		for _, v := range frontier {
-			if mac.AnonID(r.keys.Key(v), report, v) == anon {
-				out = append(out, v)
+			r.probes.Inc()
+			if r.anonID(r.keys.Key(v), report, v) == anon {
+				r.candidates.Inc()
+				if yield(v) {
+					return
+				}
 			}
 			next = append(next, r.children[v]...)
 		}
-		if len(out) > 0 {
-			return out
-		}
-		frontier = next
+		frontier, next = next, frontier
 	}
-	return nil
 }

@@ -16,6 +16,7 @@
 package sink
 
 import (
+	"pnm/internal/obs"
 	"pnm/internal/packet"
 	"pnm/internal/topology"
 )
@@ -54,11 +55,26 @@ type Tracker struct {
 	order    *Order
 	topo     *topology.Network // optional; enables neighborhood suspects
 	packets  int
+
+	// obs bindings; nil (no-op) unless Instrument was called.
+	obsPackets *obs.Counter
+	obsChains  *obs.Counter
 }
 
 // NewTracker returns a tracker using the given verifier. topo may be nil.
 func NewTracker(verifier Verifier, topo *topology.Network) *Tracker {
 	return &Tracker{verifier: verifier, order: NewOrder(), topo: topo}
+}
+
+// Instrument binds the tracker's counters into reg and propagates to the
+// verifier (and through it the resolver) when instrumentable. Call it from
+// the owning goroutine before the tracker enters service.
+func (t *Tracker) Instrument(reg *obs.Registry) {
+	t.obsPackets = reg.Counter("sink.tracker.packets")
+	t.obsChains = reg.Counter("sink.tracker.chains_folded")
+	if in, ok := t.verifier.(Instrumentable); ok {
+		in.Instrument(reg)
+	}
 }
 
 // Observe verifies one received packet and folds it into the route
@@ -67,6 +83,10 @@ func (t *Tracker) Observe(msg packet.Message) Result {
 	res := t.verifier.Verify(msg)
 	t.order.AddChain(res.Chain)
 	t.packets++
+	t.obsPackets.Inc()
+	if len(res.Chain) > 0 {
+		t.obsChains.Inc()
+	}
 	return res
 }
 

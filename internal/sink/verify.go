@@ -5,6 +5,7 @@ import (
 
 	"pnm/internal/mac"
 	"pnm/internal/marking"
+	"pnm/internal/obs"
 	"pnm/internal/packet"
 )
 
@@ -27,6 +28,13 @@ type Verifier interface {
 	Name() string
 	// Verify checks msg's marks per the deployed scheme's rules.
 	Verify(msg packet.Message) Result
+}
+
+// Instrumentable is implemented by sink objects that can bind obs metrics.
+// Instrument must be called by the owning goroutine before the object
+// enters service; the bound counters themselves are goroutine-safe.
+type Instrumentable interface {
+	Instrument(reg *obs.Registry)
 }
 
 // NewVerifier returns the verifier matching a marking scheme. numNodes
@@ -60,21 +68,42 @@ type NestedVerifier struct {
 	keys     *mac.KeyStore
 	numNodes int
 	resolver Resolver // nil for plaintext-ID nested schemes
+
+	// obs bindings; nil (no-op) unless Instrument was called.
+	packets       *obs.Counter
+	marksVerified *obs.Counter
+	stops         *obs.Counter
+	probesPerMark *obs.Histogram
 }
 
 // Name implements Verifier.
 func (v *NestedVerifier) Name() string { return "nested" }
 
+// Instrument binds the verifier's metrics into reg and propagates to the
+// resolver when it is instrumentable.
+func (v *NestedVerifier) Instrument(reg *obs.Registry) {
+	v.packets = reg.Counter("sink.verify.packets")
+	v.marksVerified = reg.Counter("sink.verify.marks_verified")
+	v.stops = reg.Counter("sink.verify.stops")
+	v.probesPerMark = reg.Histogram("sink.verify.probes_per_mark")
+	if in, ok := v.resolver.(Instrumentable); ok {
+		in.Instrument(reg)
+	}
+}
+
 // Verify implements Verifier.
 func (v *NestedVerifier) Verify(msg packet.Message) Result {
+	v.packets.Inc()
 	var chain []packet.NodeID
 	prev := packet.SinkID
 	havePrev := false
 	for k := len(msg.Marks) - 1; k >= 0; k-- {
 		id, ok := v.verifyMark(msg, k, prev, havePrev)
 		if !ok {
+			v.stops.Inc()
 			return Result{Chain: reverse(chain), Stopped: true}
 		}
+		v.marksVerified.Inc()
 		chain = append(chain, id)
 		prev, havePrev = id, true
 	}
@@ -88,13 +117,20 @@ func (v *NestedVerifier) verifyMark(msg packet.Message, k int, prev packet.NodeI
 		if v.resolver == nil {
 			return 0, false // anonymous mark under a plaintext scheme: invalid
 		}
-		for _, id := range v.resolver.Resolve(msg.Report, mk.AnonID, prev, havePrev) {
+		var found packet.NodeID
+		ok := false
+		probes := uint64(0)
+		v.resolver.Resolve(msg.Report, mk.AnonID, prev, havePrev, func(id packet.NodeID) bool {
+			probes++
 			want := marking.NestedMACAnon(v.keys.Key(id), msg, k, mk.AnonID)
 			if mac.Equal(mk.MAC, want) {
-				return id, true
+				found, ok = id, true
+				return true
 			}
-		}
-		return 0, false
+			return false
+		})
+		v.probesPerMark.Observe(probes)
+		return found, ok
 	}
 	if mk.ID == packet.SinkID || int(mk.ID) > v.numNodes {
 		return 0, false

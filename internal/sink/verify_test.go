@@ -6,6 +6,7 @@ import (
 
 	"pnm/internal/mac"
 	"pnm/internal/marking"
+	"pnm/internal/obs"
 	"pnm/internal/packet"
 	"pnm/internal/topology"
 )
@@ -240,11 +241,11 @@ func TestResolversAgree(t *testing.T) {
 		prev := topo.Parent(id)
 		havePrev := prev != packet.SinkID
 
-		got := exh.Resolve(rep, anon, prev, havePrev)
+		got := ResolveAll(exh, rep, anon, prev, havePrev)
 		if !contains(got, id) {
 			t.Fatalf("exhaustive resolver missed %v", id)
 		}
-		got = topoRes.Resolve(rep, anon, prev, havePrev)
+		got = ResolveAll(topoRes, rep, anon, prev, havePrev)
 		if !contains(got, id) {
 			t.Fatalf("topology resolver missed %v (prev %v)", id, prev)
 		}
@@ -255,17 +256,54 @@ func TestExhaustiveResolverCachesPerReport(t *testing.T) {
 	r := NewExhaustiveResolver(testKS, nodeIDs(16))
 	rep := testReport(30)
 	anon := mac.AnonID(testKS.Key(5), rep, 5)
-	if got := r.Resolve(rep, anon, 0, false); !contains(got, 5) {
+	if got := ResolveAll(r, rep, anon, 0, false); !contains(got, 5) {
 		t.Fatal("resolver missed node 5")
 	}
-	// A different report must invalidate the cached table.
+	// A different report must get its own table.
 	rep2 := testReport(31)
 	anon2 := mac.AnonID(testKS.Key(5), rep2, 5)
-	if got := r.Resolve(rep2, anon2, 0, false); !contains(got, 5) {
+	if got := ResolveAll(r, rep2, anon2, 0, false); !contains(got, 5) {
 		t.Fatal("resolver served a stale table")
 	}
-	if got := r.Resolve(rep2, anon, 0, false); contains(got, 5) && anon != anon2 {
+	if got := ResolveAll(r, rep2, anon, 0, false); contains(got, 5) && anon != anon2 {
 		t.Fatal("old anonymous ID resolved under the new report")
+	}
+}
+
+// TestExhaustiveResolverLRUEviction pins the cache's deterministic LRU
+// semantics: hits keep a table alive, misses past capacity evict the least
+// recently used table, and eviction only costs a rebuild (never wrong
+// answers).
+func TestExhaustiveResolverLRUEviction(t *testing.T) {
+	reg := obs.New()
+	r := NewExhaustiveResolverCache(testKS, nodeIDs(16), 2)
+	r.Instrument(reg)
+	builds := reg.Counter("sink.resolver.table_builds")
+	hits := reg.Counter("sink.resolver.cache_hits")
+
+	resolve := func(seq uint32) {
+		rep := testReport(seq)
+		anon := mac.AnonID(testKS.Key(3), rep, 3)
+		if got := ResolveAll(r, rep, anon, 0, false); !contains(got, 3) {
+			t.Fatalf("resolver missed node 3 under report %d", seq)
+		}
+	}
+
+	resolve(40) // build A
+	resolve(41) // build B
+	resolve(40) // hit A
+	resolve(41) // hit B
+	if b, h := builds.Value(), hits.Value(); b != 2 || h != 2 {
+		t.Fatalf("builds=%d hits=%d, want 2/2", b, h)
+	}
+	resolve(42) // build C, evicts A (LRU: A older than B)
+	resolve(41) // hit B (still cached)
+	if b, h := builds.Value(), hits.Value(); b != 3 || h != 3 {
+		t.Fatalf("builds=%d hits=%d, want 3/3", b, h)
+	}
+	resolve(40) // rebuild A (was evicted), evicts C
+	if b := builds.Value(); b != 4 {
+		t.Fatalf("builds=%d, want 4 after eviction", b)
 	}
 }
 
