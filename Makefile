@@ -6,7 +6,7 @@ GO ?= go
 # GOMAXPROCS. Results are byte-identical for every value.
 WORKERS ?= 0
 
-.PHONY: all build test race vet lint bench bench-resolver ci figures examples clean
+.PHONY: all build test race vet lint bench bench-resolver bench-sink ci figures examples clean
 
 all: build test
 
@@ -40,6 +40,12 @@ bench:
 # the machine.
 bench-resolver:
 	$(GO) run ./cmd/pnmsim -exp benchresolver > BENCH_resolver.json
+
+# Regenerate the committed MAC-engine / sink-pipeline baseline. The
+# verdict hashes and verdict-visible counters are deterministic; timings
+# vary with the machine.
+bench-sink:
+	$(GO) run ./cmd/pnmsim -exp benchsink > BENCH_sink.json
 
 # What CI runs: build, vet, lint, the full test suite, and the race
 # detector over the packages that exercise goroutines.

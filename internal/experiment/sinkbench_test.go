@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pnm/internal/sink"
+)
+
+// TestSinkBenchSmall runs the committed benchmark at a reduced size and
+// checks its structural guarantees: every row hashes to the same verdict,
+// verdict-visible counters agree, and the schedule paths are
+// allocation-free.
+func TestSinkBenchSmall(t *testing.T) {
+	cfg := SinkBenchConfig{
+		Stream: ResolverBenchConfig{
+			Nodes: 128, Sources: 4, Reports: 2, Repeats: 3, Seed: 5,
+			CacheCapacity: sink.DefaultTableCacheSize,
+		},
+		Workers:  []int{1, 2},
+		BatchLen: 16,
+		MacIters: 256,
+	}
+	res, err := SinkBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1+len(cfg.Workers) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), 1+len(cfg.Workers))
+	}
+	ref := res.Rows[0]
+	if ref.Mode != "serial" {
+		t.Fatalf("first row mode %q, want serial", ref.Mode)
+	}
+	for _, row := range res.Rows[1:] {
+		if row.VerdictHash != ref.VerdictHash {
+			t.Errorf("row %s/w%d: verdict hash %s, serial %s", row.Mode, row.Workers, row.VerdictHash, ref.VerdictHash)
+		}
+		if row.MarksVerified != ref.MarksVerified || row.Stops != ref.Stops {
+			t.Errorf("row %s/w%d: visible counters (%d, %d), serial (%d, %d)",
+				row.Mode, row.Workers, row.MarksVerified, row.Stops, ref.MarksVerified, ref.Stops)
+		}
+	}
+	if res.Mac.SchedSumAllocs != 0 || res.Mac.SchedAnonAllocs != 0 {
+		t.Errorf("schedule paths allocate: Sum %.1f, AnonID %.1f allocs/op",
+			res.Mac.SchedSumAllocs, res.Mac.SchedAnonAllocs)
+	}
+	if res.Mac.SumSpeedup <= 1 || res.Mac.AnonSpeedup <= 1 {
+		t.Errorf("schedule slower than cold path: Sum %.2fx, AnonID %.2fx",
+			res.Mac.SumSpeedup, res.Mac.AnonSpeedup)
+	}
+	if res.Table.Speedup <= 1 {
+		t.Errorf("warm table build slower than cold: %.2fx", res.Table.Speedup)
+	}
+
+	out, err := RenderSinkBench(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SinkBenchResult
+	if err := json.Unmarshal([]byte(out), &back); err != nil {
+		t.Fatalf("rendered document does not round-trip: %v", err)
+	}
+	if len(back.Rows) != len(res.Rows) {
+		t.Fatalf("round-trip lost rows: %d != %d", len(back.Rows), len(res.Rows))
+	}
+}

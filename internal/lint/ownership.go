@@ -11,11 +11,20 @@ import (
 // Ownership enforces the single-goroutine contract: a type whose
 // declaration carries a `// pnmlint:single-goroutine` marker holds
 // unsynchronized mutable state that exactly one goroutine may own for the
-// instance's lifetime (sink.Tracker, the resolvers). The analyzer flags
-// any method call on such a type inside a go statement or inside a
-// goroutine-launched function literal — unless the receiver is itself
-// declared inside that literal, which is the sanctioned
+// instance's lifetime (sink.Tracker, the verifiers, the resolvers). The
+// analyzer flags any method call on such a type inside a go statement or
+// inside a goroutine-launched function literal — unless the receiver is
+// state the goroutine built for itself, which is the sanctioned
 // one-private-chain-per-goroutine pattern internal/parallel relies on.
+//
+// "Built for itself" covers the two shapes worker code takes in this
+// repository: a receiver rooted at an identifier declared inside the
+// goroutine's function literal (`own := NewTracker(...); own.Observe(m)`,
+// including selector/index chains like `wk.resolver.Resolve(...)` on a
+// local `wk`), and a receiver produced by a call made inside the literal
+// (`factory().Verify(m)` — the sink pipeline's worker-constructs-own-
+// instance pattern, where a factory closure invoked inside the worker
+// goroutine returns that worker's private chain).
 type Ownership struct{}
 
 // markerRx matches the single-goroutine marker in a doc-comment line.
@@ -111,7 +120,7 @@ func (o *Ownership) checkGo(prog *Program, pkg *Package, g *ast.GoStmt, marked m
 		if tn == nil || !marked[tn] {
 			return true
 		}
-		if lit := enclosingLit(g.Call, sel.Pos()); lit != nil && receiverLocalTo(pkg.Info, sel.X, lit) {
+		if lit := enclosingLit(g.Call, sel.Pos()); lit != nil && goroutineOwned(pkg.Info, sel.X, lit) {
 			// The goroutine built its own instance: one private chain per
 			// goroutine is exactly the sanctioned pattern.
 			return true
@@ -152,16 +161,33 @@ func enclosingLit(root ast.Node, pos token.Pos) *ast.FuncLit {
 	return best
 }
 
-// receiverLocalTo reports whether the receiver expression is an
-// identifier whose object is declared inside the given function literal.
-func receiverLocalTo(info *types.Info, recv ast.Expr, lit *ast.FuncLit) bool {
-	id, ok := ast.Unparen(recv).(*ast.Ident)
-	if !ok {
-		return false
+// goroutineOwned reports whether the receiver expression denotes state
+// the goroutine built for itself inside the given function literal. It
+// unwraps selector and index chains to their root and accepts two roots:
+// an identifier whose object is declared inside the literal (a local,
+// including fields reached through it), and a call expression evaluated
+// inside the literal — the factory-closure pattern, where a worker
+// invokes a constructor or factory to obtain its private instance.
+func goroutineOwned(info *types.Info, recv ast.Expr, lit *ast.FuncLit) bool {
+	e := ast.Unparen(recv)
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			return obj != nil && lit.Pos() <= obj.Pos() && obj.Pos() < lit.End()
+		case *ast.SelectorExpr:
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.CallExpr:
+			// A value constructed by a call made inside the literal is this
+			// goroutine's own: factory()/NewTracker(...) receivers.
+			return lit.Pos() <= x.Pos() && x.End() <= lit.End()
+		default:
+			return false
+		}
 	}
-	obj := info.Uses[id]
-	if obj == nil {
-		obj = info.Defs[id]
-	}
-	return obj != nil && lit.Pos() <= obj.Pos() && obj.Pos() < lit.End()
 }

@@ -1,0 +1,167 @@
+package mac
+
+import (
+	"crypto/sha256"
+	"encoding"
+	"fmt"
+	"hash"
+
+	"pnm/internal/obs"
+	"pnm/internal/packet"
+)
+
+// blockSize is SHA-256's compression block size, the HMAC pad length.
+const blockSize = 64
+
+// marshalingHash is the capability set the schedule needs from the stdlib
+// SHA-256 digest: hashing plus state snapshot/restore. crypto/sha256's
+// digest has implemented both marshaling directions since Go 1.8.
+type marshalingHash interface {
+	hash.Hash
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// Schedule is a precomputed HMAC-SHA256 key schedule for one node key.
+//
+// A fresh hmac.New(sha256.New, key) pays two pad compressions (ipad and
+// opad) and several allocations on every Sum. The sink recomputes MACs for
+// every received mark — §4.2's whole feasibility argument is that it can
+// do so at line rate — so the schedule absorbs each pad into a SHA-256
+// state exactly once, snapshots both states via the digest's binary
+// marshaling, and restores them per call into two reusable digests. After
+// construction, Sum and AnonID run zero-alloc and skip both pad
+// compressions; outputs are bit-identical to the package-level Sum and
+// AnonID for the same key.
+//
+// pnmlint:single-goroutine — the reusable digests and buffers are
+// unsynchronized mutable state; one goroutine owns a schedule for its
+// lifetime. Hand each worker its own via KeyStore.Hasher.
+type Schedule struct {
+	inner, outer []byte // marshaled pad-absorbed SHA-256 states
+	ih, oh       marshalingHash
+	buf          []byte // reusable digest output, cap sha256.Size
+	enc          []byte // reusable AnonID input buffer
+}
+
+// NewSchedule precomputes the key schedule for k. This is the only
+// allocating step; amortize it by caching schedules per key (see Hasher).
+func NewSchedule(k Key) *Schedule {
+	var pad [blockSize]byte
+	copy(pad[:], k[:])
+	for i := range pad {
+		pad[i] ^= 0x36
+	}
+	ih := sha256.New().(marshalingHash)
+	ih.Write(pad[:])
+	for i := range pad {
+		pad[i] ^= 0x36 ^ 0x5c // flip ipad to opad
+	}
+	oh := sha256.New().(marshalingHash)
+	oh.Write(pad[:])
+	inner, err := ih.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("mac: marshal inner sha256 state: %v", err))
+	}
+	outer, err := oh.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("mac: marshal outer sha256 state: %v", err))
+	}
+	return &Schedule{
+		inner: inner,
+		outer: outer,
+		ih:    ih,
+		oh:    oh,
+		buf:   make([]byte, 0, sha256.Size),
+		enc:   make([]byte, 0, len(anonDomain)+packet.ReportLen+2),
+	}
+}
+
+// Sum computes the truncated marking MAC H_k(data), bit-identical to the
+// package-level Sum for the schedule's key, with zero allocations.
+func (s *Schedule) Sum(data []byte) [packet.MACLen]byte {
+	_ = s.ih.UnmarshalBinary(s.inner)
+	s.ih.Write(data)
+	var out [packet.MACLen]byte
+	copy(out[:], s.finish())
+	return out
+}
+
+// AnonID computes the per-message anonymous ID i' = H'_k(M | i),
+// bit-identical to the package-level AnonID for the schedule's key, with
+// zero allocations.
+func (s *Schedule) AnonID(report packet.Report, id packet.NodeID) [packet.AnonIDLen]byte {
+	_ = s.ih.UnmarshalBinary(s.inner)
+	s.enc = append(s.enc[:0], anonDomain...)
+	s.enc = report.Encode(s.enc)
+	s.enc = append(s.enc, byte(id>>8), byte(id))
+	s.ih.Write(s.enc)
+	var out [packet.AnonIDLen]byte
+	copy(out[:], s.finish())
+	return out
+}
+
+// finish completes the HMAC: finalize the inner digest, then hash its
+// output under the restored outer state. The returned slice aliases the
+// schedule's reusable buffer and is valid until the next call.
+func (s *Schedule) finish() []byte {
+	s.buf = s.ih.Sum(s.buf[:0])
+	_ = s.oh.UnmarshalBinary(s.outer)
+	s.oh.Write(s.buf)
+	s.buf = s.oh.Sum(s.buf[:0])
+	return s.buf
+}
+
+// Hasher is a goroutine-local cache of per-node key schedules over a
+// KeyStore. The KeyStore itself is synchronized and shared freely; the
+// schedules are not, so each goroutine that verifies MACs (a sink
+// pipeline worker, a resolver) holds its own Hasher and pays the schedule
+// construction once per node it encounters.
+//
+// pnmlint:single-goroutine — the schedule map and the schedules themselves
+// are unsynchronized; one goroutine owns a Hasher for its lifetime.
+type Hasher struct {
+	ks        *KeyStore
+	schedules map[packet.NodeID]*Schedule
+
+	// obs bindings; nil (no-op) unless Instrument was called.
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+// Hasher returns a new, empty schedule cache over the store's keys. Each
+// goroutine must take its own.
+func (ks *KeyStore) Hasher() *Hasher {
+	return &Hasher{ks: ks, schedules: make(map[packet.NodeID]*Schedule)}
+}
+
+// Instrument binds the cache's counters (mac.schedule.hits / .misses)
+// into reg. Call it from the owning goroutine before use.
+func (h *Hasher) Instrument(reg *obs.Registry) {
+	h.hits = reg.Counter("mac.schedule.hits")
+	h.misses = reg.Counter("mac.schedule.misses")
+}
+
+// Schedule returns node id's cached key schedule, building it on first
+// use.
+func (h *Hasher) Schedule(id packet.NodeID) *Schedule {
+	if s, ok := h.schedules[id]; ok {
+		h.hits.Inc()
+		return s
+	}
+	h.misses.Inc()
+	s := NewSchedule(h.ks.Key(id))
+	h.schedules[id] = s
+	return s
+}
+
+// Sum computes H_k(data) under node id's key via the cached schedule.
+func (h *Hasher) Sum(id packet.NodeID, data []byte) [packet.MACLen]byte {
+	return h.Schedule(id).Sum(data)
+}
+
+// AnonID computes node id's anonymous ID for report via the cached
+// schedule.
+func (h *Hasher) AnonID(id packet.NodeID, report packet.Report) [packet.AnonIDLen]byte {
+	return h.Schedule(id).AnonID(report, id)
+}

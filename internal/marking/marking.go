@@ -70,6 +70,37 @@ func AMSMAC(key mac.Key, report packet.Report, id packet.NodeID) [packet.MACLen]
 	return mac.Sum(key, append(buf, ib[:]...))
 }
 
+// The *Sched variants below compute the same MACs on a cached key schedule
+// with a caller-owned encode buffer: the sink verifies one MAC per
+// received mark (and O(n) per resolver table build), so its hot path must
+// skip both the per-call HMAC pad compressions and the per-call encode
+// allocation. Each returns the MAC plus the (possibly grown) buffer for
+// the caller to reuse. Outputs are bit-identical to the cold functions
+// above, which remain the one-shot node-side path.
+
+// NestedMACPlainSched is NestedMACPlain on node id's cached schedule.
+func NestedMACPlainSched(s *mac.Schedule, buf []byte, msg packet.Message, k int, id packet.NodeID) ([packet.MACLen]byte, []byte) {
+	buf = msg.EncodePrefix(buf[:0], k)
+	ib := idBytes(id)
+	buf = append(buf, ib[:]...)
+	return s.Sum(buf), buf
+}
+
+// NestedMACAnonSched is NestedMACAnon on the marker's cached schedule.
+func NestedMACAnonSched(s *mac.Schedule, buf []byte, msg packet.Message, k int, anon [packet.AnonIDLen]byte) ([packet.MACLen]byte, []byte) {
+	buf = msg.EncodePrefix(buf[:0], k)
+	buf = append(buf, anon[:]...)
+	return s.Sum(buf), buf
+}
+
+// AMSMACSched is AMSMAC on node id's cached schedule.
+func AMSMACSched(s *mac.Schedule, buf []byte, report packet.Report, id packet.NodeID) ([packet.MACLen]byte, []byte) {
+	buf = report.Encode(buf[:0])
+	ib := idBytes(id)
+	buf = append(buf, ib[:]...)
+	return s.Sum(buf), buf
+}
+
 // Nested is the basic nested marking scheme: deterministic, plaintext IDs,
 // nested MACs. Every packet carries the complete path.
 type Nested struct{}

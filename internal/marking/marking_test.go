@@ -180,3 +180,36 @@ func TestWireOverheadPerScheme(t *testing.T) {
 		t.Fatalf("plain mark %dB vs anon mark %dB, want +2", plainSz, anonSz)
 	}
 }
+
+// TestSchedVariantsMatchCold pins that the schedule-backed MAC
+// constructions the sink hot path uses are bit-identical to the cold
+// (fresh-HMAC) node-side ones, and that the shared encode buffer carries
+// no state between calls.
+func TestSchedVariantsMatchCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	msg := packet.Message{Report: testReport()}
+	for _, hop := range []packet.NodeID{5, 4, 3, 2} {
+		msg = PNM{P: 1}.Mark(hop, testKS.Key(hop), msg, rng)
+	}
+
+	var buf []byte
+	for k := 0; k <= len(msg.Marks); k++ {
+		for _, id := range []packet.NodeID{1, 9} {
+			s := mac.NewSchedule(testKS.Key(id))
+			var got [packet.MACLen]byte
+			got, buf = NestedMACPlainSched(s, buf, msg, k, id)
+			if want := NestedMACPlain(testKS.Key(id), msg, k, id); got != want {
+				t.Fatalf("NestedMACPlainSched(k=%d, id=%v) = %x, want %x", k, id, got, want)
+			}
+			anon := mac.AnonID(testKS.Key(id), msg.Report, id)
+			got, buf = NestedMACAnonSched(s, buf, msg, k, anon)
+			if want := NestedMACAnon(testKS.Key(id), msg, k, anon); got != want {
+				t.Fatalf("NestedMACAnonSched(k=%d, id=%v) = %x, want %x", k, id, got, want)
+			}
+			got, buf = AMSMACSched(s, buf, msg.Report, id)
+			if want := AMSMAC(testKS.Key(id), msg.Report, id); got != want {
+				t.Fatalf("AMSMACSched(id=%v) = %x, want %x", id, got, want)
+			}
+		}
+	}
+}

@@ -45,6 +45,11 @@ type Config struct {
 	TopologyResolver bool
 	// QueueLen is the per-node inbox depth (default 64).
 	QueueLen int
+	// SinkWorkers > 1 verifies delivered packets through a sink.Pipeline
+	// of that many workers (each with its own verifier chain) instead of
+	// serially; verdicts and delivered counts are byte-identical either
+	// way. <= 1 keeps the serial sink loop.
+	SinkWorkers int
 
 	// SuppressorCapacity arms per-node duplicate suppression when
 	// positive.
@@ -89,6 +94,7 @@ type Network struct {
 
 	mu        sync.Mutex
 	tracker   *sink.Tracker
+	pipe      *sink.Pipeline
 	delivered int
 	// deliveredCh is closed and replaced under mu on every delivery, so
 	// WaitDelivered can block instead of polling.
@@ -149,6 +155,34 @@ func Start(cfg Config) (*Network, error) {
 		n.obsBlacklistRefused = cfg.Obs.Counter("netsim.blacklist_refused")
 		n.tracker.Instrument(cfg.Obs)
 	}
+	if cfg.SinkWorkers > 1 {
+		// Each pipeline worker builds its own verifier chain inside its
+		// goroutine; only the KeyStore and obs counters are shared. The
+		// serial config above already validated this construction, so the
+		// factory's error path is unreachable.
+		factory := func() sink.Verifier {
+			var r sink.Resolver
+			if cfg.TopologyResolver {
+				r = sink.NewTopologyResolver(cfg.Keys, cfg.Topo)
+			} else {
+				r = sink.NewExhaustiveResolver(cfg.Keys, cfg.Topo.Nodes())
+			}
+			v, err := sink.NewVerifier(cfg.Scheme, cfg.Keys, cfg.Topo.NumNodes(), r)
+			if err != nil {
+				panic(fmt.Sprintf("netsim: pipeline verifier: %v", err))
+			}
+			if cfg.Obs != nil {
+				if in, ok := v.(sink.Instrumentable); ok {
+					in.Instrument(cfg.Obs)
+				}
+			}
+			return v
+		}
+		n.pipe = sink.NewPipeline(cfg.SinkWorkers, factory, n.tracker)
+		if cfg.Obs != nil {
+			n.pipe.Instrument(cfg.Obs)
+		}
+	}
 	for _, id := range cfg.Topo.Nodes() {
 		n.inbox[id] = make(chan transmission, cfg.QueueLen)
 		n.nodes[id] = node.New(node.Config{
@@ -196,6 +230,10 @@ func (n *Network) runNode(id packet.NodeID) {
 // runSink folds delivered packets into the tracker.
 func (n *Network) runSink() {
 	defer n.wg.Done()
+	if n.pipe != nil {
+		n.runSinkPipelined()
+		return
+	}
 	for {
 		select {
 		case <-n.stop:
@@ -214,6 +252,59 @@ func (n *Network) runSink() {
 			} else {
 				n.obsBlacklistRefused.Inc()
 			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// runSinkPipelined is the sink loop with SinkWorkers > 1: it blocks for
+// one delivery, greedily drains whatever else has already arrived (up to
+// the sink queue's depth), and verifies the batch across the pipeline's
+// workers. Folding happens in arrival order on this goroutine, so
+// verdicts and counters match the serial loop byte for byte.
+func (n *Network) runSinkPipelined() {
+	defer n.pipe.Close()
+	batch := make([]packet.Message, 0, n.cfg.QueueLen)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case tx := <-n.sinkCh:
+			batch = batch[:0]
+			refused := 0
+			// The sink also refuses traffic handed over by a quarantined
+			// neighbor; refusals never reach the pipeline.
+			if n.cfg.Blacklisted == nil || !n.cfg.Blacklisted(tx.from) {
+				batch = append(batch, tx.msg)
+			} else {
+				refused++
+			}
+		drain:
+			for len(batch) < n.cfg.QueueLen {
+				select {
+				case tx = <-n.sinkCh:
+					if n.cfg.Blacklisted == nil || !n.cfg.Blacklisted(tx.from) {
+						batch = append(batch, tx.msg)
+					} else {
+						refused++
+					}
+				default:
+					break drain
+				}
+			}
+			if refused > 0 {
+				n.obsBlacklistRefused.Add(uint64(refused))
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			n.mu.Lock()
+			n.pipe.Observe(batch)
+			n.delivered += len(batch)
+			n.obsDelivered.Add(uint64(len(batch)))
+			// Wake every WaitDelivered blocked on the old channel.
+			close(n.deliveredCh)
+			n.deliveredCh = make(chan struct{})
 			n.mu.Unlock()
 		}
 	}

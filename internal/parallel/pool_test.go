@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolCoversEverySlotOnce checks the sharding contract: each index in
+// [0, n) is processed exactly once, whatever the worker count.
+func TestPoolCoversEverySlotOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 17} {
+		for _, n := range []int{0, 1, 2, 7, 64, 100} {
+			seen := make([]atomic.Int64, max(n, 1))
+			p := NewPool(workers, func() struct{} { return struct{}{} })
+			used := p.Do(n, func(_ struct{}, i int) { seen[i].Add(1) })
+			p.Close()
+			for i := 0; i < n; i++ {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: slot %d processed %d times", workers, n, i, got)
+				}
+			}
+			if n > 0 && (used < 1 || used > workers || used > n) {
+				t.Fatalf("workers=%d n=%d: occupancy %d out of range", workers, n, used)
+			}
+			if n == 0 && used != 0 {
+				t.Fatalf("workers=%d n=0: occupancy %d, want 0", workers, used)
+			}
+		}
+	}
+}
+
+// TestPoolFactoryRunsPerWorker checks that every worker builds exactly
+// one private state inside its own goroutine, and that states are never
+// shared between workers.
+func TestPoolFactoryRunsPerWorker(t *testing.T) {
+	const workers = 4
+	var built atomic.Int64
+	type state struct{ id int64 }
+	p := NewPool(workers, func() *state { return &state{id: built.Add(1)} })
+	defer p.Close()
+
+	// Enough slots that every worker participates; record which state
+	// processed each slot.
+	const n = 4 * workers
+	got := make([]*state, n)
+	p.Do(n, func(s *state, i int) { got[i] = s })
+	if built.Load() != workers {
+		t.Fatalf("factory ran %d times, want %d", built.Load(), workers)
+	}
+	// Contiguous shards: slots of one span share one state.
+	chunk := n / workers
+	for i := 0; i < n; i++ {
+		if got[i] == nil {
+			t.Fatalf("slot %d unprocessed", i)
+		}
+		if got[i] != got[(i/chunk)*chunk] {
+			t.Fatalf("slot %d crossed shard state", i)
+		}
+	}
+}
+
+// TestPoolStatePersistsAcrossBatches checks that worker state is built
+// once and reused batch after batch — the warm-schedule property the
+// sink pipeline depends on.
+func TestPoolStatePersistsAcrossBatches(t *testing.T) {
+	var built atomic.Int64
+	p := NewPool(2, func() *int { built.Add(1); n := 0; return &n })
+	defer p.Close()
+	for batch := 0; batch < 5; batch++ {
+		p.Do(8, func(s *int, _ int) { *s++ })
+	}
+	if built.Load() != 2 {
+		t.Fatalf("factory ran %d times over 5 batches, want 2", built.Load())
+	}
+}
+
+// TestPoolPanicPropagatesLowestIndex checks deterministic panic
+// propagation: every slot still runs, and the caller sees the panic from
+// the lowest panicking index regardless of scheduling.
+func TestPoolPanicPropagatesLowestIndex(t *testing.T) {
+	p := NewPool(4, func() struct{} { return struct{}{} })
+	defer p.Close()
+	var ran atomic.Int64
+	defer func() {
+		r := recover()
+		if r != 3 {
+			t.Fatalf("recovered %v, want panic value 3 (lowest index)", r)
+		}
+		if ran.Load() != 16 {
+			t.Fatalf("%d slots ran, want all 16 despite panics", ran.Load())
+		}
+	}()
+	p.Do(16, func(_ struct{}, i int) {
+		ran.Add(1)
+		if i == 3 || i == 11 {
+			panic(i)
+		}
+	})
+	t.Fatal("Do returned without panicking")
+}

@@ -88,6 +88,9 @@ func TestSingleGoroutineAnnotations(t *testing.T) {
 		"Tracker":            "tracker.go",
 		"ExhaustiveResolver": "resolve.go",
 		"TopologyResolver":   "resolve.go",
+		"NestedVerifier":     "verify.go",
+		"AMSVerifier":        "verify.go",
+		"Pipeline":           "pipeline.go",
 	}
 	fset := token.NewFileSet()
 	for typeName, file := range want {

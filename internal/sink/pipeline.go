@@ -1,0 +1,86 @@
+package sink
+
+import (
+	"pnm/internal/obs"
+	"pnm/internal/packet"
+	"pnm/internal/parallel"
+)
+
+// Pipeline verifies batches of received messages across a pool of workers
+// and folds the results into the single-goroutine Tracker in arrival
+// order. It is the sink-side answer to §4.2's feasibility argument: mark
+// verification is per-packet pure (a packet's Result depends only on its
+// bytes and the key material), so it shards freely, while route
+// reconstruction stays serial where ordering matters.
+//
+// Each worker owns a full private verifier chain — verifier, resolver,
+// key-schedule cache — built by the caller's factory inside the worker's
+// goroutine, honoring the package's ownership contract. Only the
+// KeyStore (synchronized) and obs counters (atomic) are shared.
+//
+// Determinism contract: for a fixed batch sequence the folded order, the
+// returned Results, every Tracker verdict and the verdict-visible obs
+// counters (packets, marks verified, stops) are byte-identical at any
+// worker count — the same contract parallel.RunN gives experiment runs.
+// Cache-locality counters (resolver table builds, schedule-cache misses)
+// legitimately vary with the sharding and are excluded.
+//
+// pnmlint:single-goroutine — Observe reuses a scratch result slice and
+// folds into the tracker; the pipeline, like the tracker it wraps,
+// belongs to the sink goroutine.
+type Pipeline struct {
+	pool    *parallel.Pool[Verifier]
+	tracker *Tracker
+	scratch []Result
+
+	// obs bindings; nil (no-op) unless Instrument was called.
+	batches   *obs.Counter
+	occupancy *obs.Histogram
+}
+
+// NewPipeline starts workers verification workers (<= 0 selects
+// GOMAXPROCS); factory runs once inside each worker goroutine to build
+// that worker's private verifier chain. Results fold into tracker on the
+// calling goroutine. Close the pipeline to release the workers.
+func NewPipeline(workers int, factory func() Verifier, tracker *Tracker) *Pipeline {
+	return &Pipeline{pool: parallel.NewPool(workers, factory), tracker: tracker}
+}
+
+// Workers returns the pipeline's worker count.
+func (p *Pipeline) Workers() int { return p.pool.Workers() }
+
+// Tracker returns the tracker the pipeline folds into.
+func (p *Pipeline) Tracker() *Tracker { return p.tracker }
+
+// Instrument binds the pipeline's batch counters into reg. Worker-side
+// verifier metrics are bound by the factory (each worker instruments its
+// own chain; the underlying counters are shared atomics).
+func (p *Pipeline) Instrument(reg *obs.Registry) {
+	p.batches = reg.Counter("sink.pipeline.batches")
+	p.occupancy = reg.Histogram("sink.pipeline.worker_occupancy")
+}
+
+// Observe verifies one batch across the workers and folds every result
+// into the tracker in batch order. The returned slice is the pipeline's
+// scratch space: read it before the next Observe call.
+func (p *Pipeline) Observe(batch []packet.Message) []Result {
+	if len(batch) == 0 {
+		return nil
+	}
+	if cap(p.scratch) < len(batch) {
+		p.scratch = make([]Result, len(batch))
+	}
+	results := p.scratch[:len(batch)]
+	used := p.pool.Do(len(batch), func(v Verifier, i int) {
+		results[i] = v.Verify(batch[i])
+	})
+	p.batches.Inc()
+	p.occupancy.Observe(uint64(used))
+	for i := range results {
+		p.tracker.Fold(results[i])
+	}
+	return results
+}
+
+// Close stops the worker pool. The tracker remains usable.
+func (p *Pipeline) Close() { p.pool.Close() }

@@ -39,9 +39,11 @@ func ResolveAll(r Resolver, report packet.Report, anon [packet.AnonIDLen]byte, p
 }
 
 // anonIDFunc computes a node's anonymous ID for a report. It is a seam:
-// production code always uses mac.AnonID; tests substitute a colliding
-// function to manufacture truncated-ID collisions at chosen nodes without
-// searching for real HMAC collisions.
+// in production it is nil and the resolvers derive IDs through their
+// cached per-node key schedules (bit-identical to mac.AnonID, without the
+// per-call HMAC setup); tests substitute a colliding function to
+// manufacture truncated-ID collisions at chosen nodes without searching
+// for real HMAC collisions.
 type anonIDFunc func(k mac.Key, report packet.Report, id packet.NodeID) [packet.AnonIDLen]byte
 
 // DefaultTableCacheSize is the per-resolver anonymous-ID table cache
@@ -64,7 +66,8 @@ const DefaultTableCacheSize = 16
 type ExhaustiveResolver struct {
 	keys   *mac.KeyStore
 	nodes  []packet.NodeID
-	anonID anonIDFunc
+	hasher *mac.Hasher
+	anonID anonIDFunc // test seam; nil selects the schedule-backed engine
 
 	// cache holds the most recently used tables, most recent first.
 	cache    []tableEntry
@@ -98,7 +101,7 @@ func NewExhaustiveResolverCache(keys *mac.KeyStore, nodes []packet.NodeID, capac
 	}
 	ns := make([]packet.NodeID, len(nodes))
 	copy(ns, nodes)
-	return &ExhaustiveResolver{keys: keys, nodes: ns, anonID: mac.AnonID, cacheCap: capacity}
+	return &ExhaustiveResolver{keys: keys, nodes: ns, hasher: keys.Hasher(), cacheCap: capacity}
 }
 
 // Instrument binds the resolver's counters into reg.
@@ -107,6 +110,7 @@ func (r *ExhaustiveResolver) Instrument(reg *obs.Registry) {
 	r.cacheHits = reg.Counter("sink.resolver.cache_hits")
 	r.cacheMisses = reg.Counter("sink.resolver.cache_misses")
 	r.candidates = reg.Counter("sink.resolver.candidates")
+	r.hasher.Instrument(reg)
 }
 
 // Resolve implements Resolver. The prev hint is ignored: the table already
@@ -145,12 +149,20 @@ func (r *ExhaustiveResolver) lookup(report packet.Report) map[[packet.AnonIDLen]
 }
 
 // buildTable computes the full anonymous-ID table for one report — the
-// operation whose feasibility §4.2 argues from hash throughput.
+// operation whose feasibility §4.2 argues from hash throughput. It is
+// O(n) HMACs per report, so it runs on the cached key schedules: after
+// the first build has populated the hasher, each entry costs two SHA-256
+// state restores and no allocation beyond the table itself.
 func (r *ExhaustiveResolver) buildTable(report packet.Report) map[[packet.AnonIDLen]byte][]packet.NodeID {
 	r.tableBuilds.Inc()
 	table := make(map[[packet.AnonIDLen]byte][]packet.NodeID, len(r.nodes))
 	for _, id := range r.nodes {
-		a := r.anonID(r.keys.Key(id), report, id)
+		var a [packet.AnonIDLen]byte
+		if r.anonID != nil {
+			a = r.anonID(r.keys.Key(id), report, id)
+		} else {
+			a = r.hasher.AnonID(id, report)
+		}
 		table[a] = append(table[a], id)
 	}
 	return table
@@ -187,7 +199,8 @@ func (r *ExhaustiveResolver) buildTable(report packet.Report) map[[packet.AnonID
 type TopologyResolver struct {
 	keys   *mac.KeyStore
 	topo   *topology.Network
-	anonID anonIDFunc
+	hasher *mac.Hasher
+	anonID anonIDFunc // test seam; nil selects the schedule-backed engine
 	// children is the routing tree's downlink adjacency, built once.
 	children map[packet.NodeID][]packet.NodeID
 
@@ -203,13 +216,14 @@ func NewTopologyResolver(keys *mac.KeyStore, topo *topology.Network) *TopologyRe
 		parent := topo.Parent(id)
 		children[parent] = append(children[parent], id)
 	}
-	return &TopologyResolver{keys: keys, topo: topo, anonID: mac.AnonID, children: children}
+	return &TopologyResolver{keys: keys, topo: topo, hasher: keys.Hasher(), children: children}
 }
 
 // Instrument binds the resolver's counters into reg.
 func (r *TopologyResolver) Instrument(reg *obs.Registry) {
 	r.probes = reg.Counter("sink.resolver.probes")
 	r.candidates = reg.Counter("sink.resolver.candidates")
+	r.hasher.Instrument(reg)
 }
 
 // Resolve implements Resolver.
@@ -231,7 +245,13 @@ func (r *TopologyResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]
 		next = next[:0]
 		for _, v := range frontier {
 			r.probes.Inc()
-			if r.anonID(r.keys.Key(v), report, v) == anon {
+			var a [packet.AnonIDLen]byte
+			if r.anonID != nil {
+				a = r.anonID(r.keys.Key(v), report, v)
+			} else {
+				a = r.hasher.AnonID(v, report)
+			}
+			if a == anon {
 				r.candidates.Inc()
 				if yield(v) {
 					return

@@ -81,13 +81,22 @@ func (t *Tracker) Instrument(reg *obs.Registry) {
 // reconstruction. It returns the packet's verification result.
 func (t *Tracker) Observe(msg packet.Message) Result {
 	res := t.verifier.Verify(msg)
+	t.Fold(res)
+	return res
+}
+
+// Fold records an already-verified result into the route reconstruction.
+// The verification pipeline verifies batches on worker-private verifiers
+// and folds the results here, on the tracker's owning goroutine, in
+// arrival order — which is what keeps the reconstructed order (and every
+// verdict derived from it) byte-identical at any worker count.
+func (t *Tracker) Fold(res Result) {
 	t.order.AddChain(res.Chain)
 	t.packets++
 	t.obsPackets.Inc()
 	if len(res.Chain) > 0 {
 		t.obsChains.Inc()
 	}
-	return res
 }
 
 // Packets returns how many packets have been observed.

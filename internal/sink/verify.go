@@ -64,16 +64,37 @@ func NewVerifier(s marking.Scheme, keys *mac.KeyStore, numNodes int, resolver Re
 // The first failure stops the walk — everything upstream of a tampered mark
 // is unverifiable, which is precisely the property that pins tampering to
 // the mole's neighborhood.
+//
+// pnmlint:single-goroutine — the verifier owns a private schedule cache
+// and a reusable MAC-input buffer; one goroutine owns an instance for its
+// lifetime (see the package doc's Ownership section). The sink pipeline
+// honors this by constructing one verifier chain per worker.
 type NestedVerifier struct {
 	keys     *mac.KeyStore
 	numNodes int
 	resolver Resolver // nil for plaintext-ID nested schemes
+
+	// hasher caches per-node HMAC key schedules; encBuf is the reusable
+	// nested-MAC input buffer. Together they make recomputing a mark's MAC
+	// allocation-free. Both are lazily built so tests can construct
+	// verifiers literally.
+	hasher *mac.Hasher
+	encBuf []byte
 
 	// obs bindings; nil (no-op) unless Instrument was called.
 	packets       *obs.Counter
 	marksVerified *obs.Counter
 	stops         *obs.Counter
 	probesPerMark *obs.Histogram
+}
+
+// schedule returns node id's cached key schedule from the verifier's
+// private hasher, creating the hasher on first use.
+func (v *NestedVerifier) schedule(id packet.NodeID) *mac.Schedule {
+	if v.hasher == nil {
+		v.hasher = v.keys.Hasher()
+	}
+	return v.hasher.Schedule(id)
 }
 
 // Name implements Verifier.
@@ -86,6 +107,10 @@ func (v *NestedVerifier) Instrument(reg *obs.Registry) {
 	v.marksVerified = reg.Counter("sink.verify.marks_verified")
 	v.stops = reg.Counter("sink.verify.stops")
 	v.probesPerMark = reg.Histogram("sink.verify.probes_per_mark")
+	if v.hasher == nil {
+		v.hasher = v.keys.Hasher()
+	}
+	v.hasher.Instrument(reg)
 	if in, ok := v.resolver.(Instrumentable); ok {
 		in.Instrument(reg)
 	}
@@ -122,7 +147,8 @@ func (v *NestedVerifier) verifyMark(msg packet.Message, k int, prev packet.NodeI
 		probes := uint64(0)
 		v.resolver.Resolve(msg.Report, mk.AnonID, prev, havePrev, func(id packet.NodeID) bool {
 			probes++
-			want := marking.NestedMACAnon(v.keys.Key(id), msg, k, mk.AnonID)
+			var want [packet.MACLen]byte
+			want, v.encBuf = marking.NestedMACAnonSched(v.schedule(id), v.encBuf, msg, k, mk.AnonID)
 			if mac.Equal(mk.MAC, want) {
 				found, ok = id, true
 				return true
@@ -135,7 +161,8 @@ func (v *NestedVerifier) verifyMark(msg packet.Message, k int, prev packet.NodeI
 	if mk.ID == packet.SinkID || int(mk.ID) > v.numNodes {
 		return 0, false
 	}
-	want := marking.NestedMACPlain(v.keys.Key(mk.ID), msg, k, mk.ID)
+	var want [packet.MACLen]byte
+	want, v.encBuf = marking.NestedMACPlainSched(v.schedule(mk.ID), v.encBuf, msg, k, mk.ID)
 	if !mac.Equal(mk.MAC, want) {
 		return 0, false
 	}
@@ -146,23 +173,51 @@ func (v *NestedVerifier) verifyMark(msg packet.Message, k int, prev packet.NodeI
 // report and the marker's ID, so marks are accepted or rejected
 // individually and the surviving ones keep packet order. Removal,
 // re-ordering or selective dropping of upstream marks goes undetected.
+//
+// pnmlint:single-goroutine — owns a private schedule cache and encode
+// buffer, like NestedVerifier.
 type AMSVerifier struct {
 	keys     *mac.KeyStore
 	numNodes int
+
+	// hasher and encBuf: see NestedVerifier.
+	hasher *mac.Hasher
+	encBuf []byte
+
+	// obs bindings; nil (no-op) unless Instrument was called.
+	packets       *obs.Counter
+	marksVerified *obs.Counter
 }
 
 // Name implements Verifier.
 func (v *AMSVerifier) Name() string { return "ams" }
 
+// Instrument binds the verifier's metrics into reg, so pnmsim -stats and
+// the netsim registry cover the AMS baseline like the nested schemes.
+func (v *AMSVerifier) Instrument(reg *obs.Registry) {
+	v.packets = reg.Counter("sink.verify.packets")
+	v.marksVerified = reg.Counter("sink.verify.marks_verified")
+	if v.hasher == nil {
+		v.hasher = v.keys.Hasher()
+	}
+	v.hasher.Instrument(reg)
+}
+
 // Verify implements Verifier.
 func (v *AMSVerifier) Verify(msg packet.Message) Result {
+	v.packets.Inc()
 	var chain []packet.NodeID
 	for _, mk := range msg.Marks {
 		if mk.Anonymous || mk.ID == packet.SinkID || int(mk.ID) > v.numNodes {
 			continue
 		}
-		want := marking.AMSMAC(v.keys.Key(mk.ID), msg.Report, mk.ID)
+		if v.hasher == nil {
+			v.hasher = v.keys.Hasher()
+		}
+		var want [packet.MACLen]byte
+		want, v.encBuf = marking.AMSMACSched(v.hasher.Schedule(mk.ID), v.encBuf, msg.Report, mk.ID)
 		if mac.Equal(mk.MAC, want) {
+			v.marksVerified.Inc()
 			chain = append(chain, mk.ID)
 		}
 	}
@@ -173,18 +228,31 @@ func (v *AMSVerifier) Verify(msg packet.Message) Result {
 // schemes' trust assumption, kept as the weakest baseline.
 type PPMVerifier struct {
 	numNodes int
+
+	// obs bindings; nil (no-op) unless Instrument was called.
+	packets       *obs.Counter
+	marksVerified *obs.Counter
 }
 
 // Name implements Verifier.
 func (v *PPMVerifier) Name() string { return "ppm" }
 
+// Instrument binds the verifier's metrics into reg. PPM checks no MACs,
+// so marks_verified counts marks accepted at face value.
+func (v *PPMVerifier) Instrument(reg *obs.Registry) {
+	v.packets = reg.Counter("sink.verify.packets")
+	v.marksVerified = reg.Counter("sink.verify.marks_verified")
+}
+
 // Verify implements Verifier.
 func (v *PPMVerifier) Verify(msg packet.Message) Result {
+	v.packets.Inc()
 	var chain []packet.NodeID
 	for _, mk := range msg.Marks {
 		if mk.Anonymous || mk.ID == packet.SinkID || int(mk.ID) > v.numNodes {
 			continue
 		}
+		v.marksVerified.Inc()
 		chain = append(chain, mk.ID)
 	}
 	return Result{Chain: chain}
