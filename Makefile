@@ -6,7 +6,7 @@ GO ?= go
 # GOMAXPROCS. Results are byte-identical for every value.
 WORKERS ?= 0
 
-.PHONY: all build test race vet lint bench bench-resolver bench-sink ci figures examples clean
+.PHONY: all build test race vet lint bench bench-resolver bench-sink bench-fault ci figures examples clean
 
 all: build test
 
@@ -46,6 +46,13 @@ bench-resolver:
 # vary with the machine.
 bench-sink:
 	$(GO) run ./cmd/pnmsim -exp benchsink > BENCH_sink.json
+
+# Regenerate the committed fault benchmark (E20): traceback convergence
+# under deterministic fault plans. Fully deterministic — the document is a
+# pure function of its config, and verdict equality with the fault-free
+# baseline is enforced at generation time.
+bench-fault:
+	$(GO) run ./cmd/pnmsim -exp benchfault > BENCH_fault.json
 
 # What CI runs: build, vet, lint, the full test suite, and the race
 # detector over the packages that exercise goroutines.

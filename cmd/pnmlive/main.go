@@ -7,6 +7,12 @@
 //
 //	pnmlive -nodes 300 -side 10 -range 1.3 -packets 400 -quarantine
 //
+// -chaos schedules a seeded fault plan against the run — node
+// crash/restart, link churn, and a sink crash restored from a PNM2
+// tracker checkpoint — with the mole and its first hop protected, so the
+// traceback still converges, just later. -queue selects the inbox
+// overflow policy (block, drop-newest, drop-oldest).
+//
 // -debug ADDR serves net/http/pprof plus the simulator's obs counters
 // (expvar, under the "pnm" key) on ADDR for the lifetime of the run, and
 // dumps the counters to stderr at the end.
@@ -79,6 +85,8 @@ func run(args []string, w io.Writer) error {
 		loss       = fs.Float64("loss", 0, "per-link loss probability")
 		quarantine = fs.Bool("quarantine", false, "isolate the suspected neighborhood once identified")
 		debugAddr  = fs.String("debug", "", "serve pprof and expvar obs counters on this address (e.g. localhost:6060)")
+		chaos      = fs.Bool("chaos", false, "run a seeded fault plan: node crash/restart, link churn, a sink crash+restore — the mole and its first hop are protected so the traceback still converges")
+		queue      = fs.String("queue", "block", "inbox overflow policy: block, drop-newest, drop-oldest")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +117,27 @@ func run(args []string, w io.Writer) error {
 	hops := topo.Depth(moleID)
 	scheme := marking.PNM{P: analytic.ProbabilityForMarks(hops-1, 3)}
 
+	var policy netsim.QueuePolicy
+	switch *queue {
+	case "block":
+		policy = netsim.QueueBlock
+	case "drop-newest":
+		policy = netsim.QueueDropNewest
+	case "drop-oldest":
+		policy = netsim.QueueDropOldest
+	default:
+		return fmt.Errorf("unknown -queue policy %q (want block, drop-newest or drop-oldest)", *queue)
+	}
+	var plan *netsim.FaultPlan
+	if *chaos {
+		plan = netsim.GenerateFaultPlan(*seed, topo, netsim.FaultPlanConfig{
+			Start: *packets / 8, Step: *packets / 8,
+			NodeChurn: 2, LinkChurn: 2, SinkCrashes: 1,
+			Protect: []packet.NodeID{moleID, topo.Parent(moleID)},
+		})
+		fmt.Fprintf(os.Stderr, "fault plan: %v\n", plan.Events)
+	}
+
 	var mu sync.Mutex
 	blacklist := map[packet.NodeID]bool{}
 	env := &mole.Env{Scheme: scheme, StolenKeys: map[packet.NodeID]mac.Key{moleID: keys.Key(moleID)}}
@@ -116,6 +145,8 @@ func run(args []string, w io.Writer) error {
 		Topo: topo, Keys: keys, Scheme: scheme, Seed: *seed, Env: env,
 		LossProb:         *loss,
 		TopologyResolver: true,
+		QueuePolicy:      policy,
+		Faults:           plan,
 		Obs:              reg,
 		Blacklisted: func(id packet.NodeID) bool {
 			mu.Lock()

@@ -23,6 +23,22 @@ func Annotated() time.Time {
 	return time.Now()
 }
 
+// Stalls turns scheduling jitter into control flow through timers and
+// sleeps; every construction is a finding.
+func Stalls() {
+	time.Sleep(time.Millisecond)    // want "call to time.Sleep"
+	t := time.NewTimer(time.Second) // want "call to time.NewTimer"
+	defer t.Stop()
+	<-time.After(time.Second) // want "call to time.After"
+}
+
+// AnnotatedTimer is the timer-shaped escape hatch: a real timeout on a
+// blocking API, annotated.
+func AnnotatedTimer() *time.Timer {
+	//pnmlint:allow wallclock fixture demonstrates an intentional timeout
+	return time.NewTimer(time.Second)
+}
+
 // Derived uses time values without reading the clock: no findings.
 func Derived(base time.Time, ticks int) time.Time {
 	return base.Add(time.Duration(ticks) * time.Millisecond)

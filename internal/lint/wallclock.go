@@ -6,13 +6,16 @@ import (
 	"go/types"
 )
 
-// Wallclock rejects real-time reads — time.Now, time.Since, time.Until —
+// Wallclock rejects real-time dependence — clock reads (time.Now,
+// time.Since, time.Until) and timer construction or sleeping (time.Sleep,
+// time.NewTimer, time.NewTicker, time.After, time.AfterFunc, time.Tick) —
 // inside the deterministic packages. The experiment pipeline's
 // byte-identical-results contract (internal/parallel) requires every
 // value that reaches output to be a pure function of configuration and
 // run-index-derived seeds; a wall-clock read silently breaks that for
-// every figure at once. Intentional timing measurements are annotated
-// with //pnmlint:allow wallclock <reason>.
+// every figure at once, and a timer turns scheduling jitter into control
+// flow. Intentional timing (API timeouts, the fault scheduler's stall
+// fallback) is annotated with //pnmlint:allow wallclock <reason>.
 type Wallclock struct {
 	// Paths are the import paths held to the no-real-time rule.
 	Paths []string
@@ -23,7 +26,7 @@ func (*Wallclock) Name() string { return "wallclock" }
 
 // Doc implements Analyzer.
 func (*Wallclock) Doc() string {
-	return "no time.Now/time.Since/time.Until in deterministic packages"
+	return "no clock reads or timers (time.Now/Since/Until/Sleep/NewTimer/NewTicker/After/AfterFunc/Tick) in deterministic packages"
 }
 
 // Run implements Analyzer.
@@ -48,7 +51,7 @@ func (w *Wallclock) Run(prog *Program) []Diagnostic {
 					return true
 				}
 				switch fn.Name() {
-				case "Now", "Since", "Until":
+				case "Now", "Since", "Until", "Sleep", "NewTimer", "NewTicker", "After", "AfterFunc", "Tick":
 					out = append(out, Diagnostic{
 						Pos:      prog.Fset.Position(call.Pos()),
 						Analyzer: w.Name(),

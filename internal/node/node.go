@@ -57,6 +57,7 @@ type Node struct {
 
 	mu            sync.Mutex
 	forwarded     int
+	injected      int
 	dupDropped    int
 	filterDropped int
 	quarDropped   int
@@ -127,6 +128,23 @@ func (n *Node) Handle(prev packet.NodeID, msg packet.Message, bogus bool, rng *r
 	return out, Forwarded
 }
 
+// NoteInjectTx accounts the radio transmit of a locally originated packet
+// leaving this node. Injection bypasses Handle (the stack processes relayed
+// traffic; a source's own packets are handed to it pre-built), so without
+// this call the source's transmit spend would be invisible and per-node
+// energy totals would disagree with the synchronous engine's for the same
+// traffic. The spend is charged whether or not the radio hop subsequently
+// loses the frame — transmitting costs energy either way, exactly as
+// forwarders are charged in Handle before the link-loss draw.
+func (n *Node) NoteInjectTx(msg packet.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.injected++
+	if n.cfg.Energy != nil {
+		n.spentJ += n.cfg.Energy.TxJoulePerByte * float64(msg.WireSize()+n.cfg.Energy.FrameOverheadBytes)
+	}
+}
+
 // noteTx accounts a transmission. Callers hold n.mu.
 func (n *Node) noteTx(msg packet.Message) {
 	n.forwarded++
@@ -138,6 +156,7 @@ func (n *Node) noteTx(msg packet.Message) {
 // Stats reports the node's counters.
 type Stats struct {
 	Forwarded         int
+	Injected          int
 	DroppedDuplicate  int
 	DroppedFiltered   int
 	DroppedQuarantine int
@@ -151,6 +170,7 @@ func (n *Node) Stats() Stats {
 	defer n.mu.Unlock()
 	return Stats{
 		Forwarded:         n.forwarded,
+		Injected:          n.injected,
 		DroppedDuplicate:  n.dupDropped,
 		DroppedFiltered:   n.filterDropped,
 		DroppedQuarantine: n.quarDropped,

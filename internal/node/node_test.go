@@ -1,6 +1,7 @@
 package node
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -150,5 +151,33 @@ func TestEnergyAccounting(t *testing.T) {
 	rx := model.RxJoulePerByte * float64(packet.ReportLen+model.FrameOverheadBytes)
 	if s.EnergySpentJ <= rx {
 		t.Fatalf("energy %.9f J should exceed rx-only %.9f J", s.EnergySpentJ, rx)
+	}
+}
+
+// TestNoteInjectTxAccountsEnergy pins the source-side transmit accounting
+// the live simulator's inject path relies on: one injected packet charges
+// exactly one frame's transmit energy and bumps the Injected counter,
+// leaving the forwarding counters alone.
+func TestNoteInjectTxAccountsEnergy(t *testing.T) {
+	model := energy.Mica2()
+	n := New(Config{ID: 3, Scheme: marking.Nested{}, Energy: &model})
+	msg := packet.Message{Report: packet.Report{Event: 7, Seq: 1}}
+	n.NoteInjectTx(msg)
+	n.NoteInjectTx(msg)
+
+	st := n.Stats()
+	if st.Injected != 2 || st.Forwarded != 0 {
+		t.Fatalf("stats = %+v, want 2 injected, 0 forwarded", st)
+	}
+	want := 2 * model.TxJoulePerByte * float64(msg.WireSize()+model.FrameOverheadBytes)
+	if math.Abs(st.EnergySpentJ-want) > 1e-12 {
+		t.Fatalf("EnergySpentJ = %g, want %g", st.EnergySpentJ, want)
+	}
+
+	// Without an energy model the call still counts the injection.
+	bare := New(Config{ID: 4, Scheme: marking.Nested{}})
+	bare.NoteInjectTx(msg)
+	if st := bare.Stats(); st.Injected != 1 || st.EnergySpentJ != 0 {
+		t.Fatalf("bare stats = %+v, want 1 injected and zero spend", st)
 	}
 }

@@ -84,22 +84,46 @@ func RestoreOrder(data []byte) (*Order, error) {
 	return o, nil
 }
 
-// Checkpoint serializes the tracker's reconstruction state (packet count
-// plus the order matrix). The verifier and topology are configuration, not
-// state, and are supplied again on restore.
+// trackerMagic marks the versioned full-tracker checkpoint: PNM2 carries
+// the packet count ahead of an embedded PNM1 order block, so a restored
+// sink's Packets() — and every packets-to-catch figure derived from it —
+// survives a crash. PNM1 data (order only) is still readable.
+var trackerMagic = [4]byte{'P', 'N', 'M', '2'}
+
+// Checkpoint serializes the tracker's full reconstruction state in the
+// PNM2 format: the magic, the packet count, then the order matrix's PNM1
+// block. The verifier and topology are configuration, not state, and are
+// supplied again on restore.
 func (t *Tracker) Checkpoint() []byte {
+	buf := append([]byte(nil), trackerMagic[:]...)
 	var tmp [8]byte
 	binary.BigEndian.PutUint64(tmp[:], uint64(t.packets))
-	return append(tmp[:], t.order.Checkpoint()...)
+	buf = append(buf, tmp[:]...)
+	return append(buf, t.order.Checkpoint()...)
 }
 
 // RestoreTracker rebuilds a tracker from a checkpoint, reattaching the
-// verifier and (optional) topology.
+// verifier and (optional) topology. It reads both formats: PNM2 restores
+// the order matrix and the packet count; a bare PNM1 order block predates
+// the count and restores with Packets() == 0.
 func RestoreTracker(data []byte, verifier Verifier, topo *topology.Network) (*Tracker, error) {
-	if len(data) < 8 {
+	if len(data) < 4 {
 		return nil, fmt.Errorf("sink: checkpoint too short")
 	}
-	order, err := RestoreOrder(data[8:])
+	packets := 0
+	switch [4]byte(data[:4]) {
+	case trackerMagic:
+		if len(data) < 12 {
+			return nil, fmt.Errorf("sink: checkpoint truncated in packet count")
+		}
+		packets = int(binary.BigEndian.Uint64(data[4:12]))
+		data = data[12:]
+	case checkpointMagic:
+		// Legacy order-only checkpoint; the count was never persisted.
+	default:
+		return nil, fmt.Errorf("sink: not a tracker checkpoint")
+	}
+	order, err := RestoreOrder(data)
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +131,6 @@ func RestoreTracker(data []byte, verifier Verifier, topo *topology.Network) (*Tr
 		verifier: verifier,
 		order:    order,
 		topo:     topo,
-		packets:  int(binary.BigEndian.Uint64(data[:8])),
+		packets:  packets,
 	}, nil
 }

@@ -2,6 +2,7 @@ package sink
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -135,8 +136,100 @@ func TestTrackerCheckpointResumesTraceback(t *testing.T) {
 	}
 }
 
+// TestTrackerCheckpointExactRoundTrip pins the PNM2 format against a live
+// tracker: the restored instance must agree exactly — packet count, every
+// pairwise order relation, candidates, and the verdict — with the one it
+// was snapshotted from.
+func TestTrackerCheckpointExactRoundTrip(t *testing.T) {
+	topo, err := topology.NewChain(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := marking.PNM{P: 0.4}
+	newVerifier := func() Verifier {
+		v, err := NewVerifier(scheme, testKS, topo.NumNodes(), NewExhaustiveResolver(testKS, topo.Nodes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	rng := rand.New(rand.NewSource(23))
+	live := NewTracker(newVerifier(), topo)
+	for i := 0; i < 77; i++ {
+		msg := packet.Message{Report: testReport(rng.Uint32())}
+		for _, id := range topo.Forwarders(9) {
+			msg = scheme.Mark(id, testKS.Key(id), msg, rng)
+		}
+		live.Observe(msg)
+	}
+
+	blob := live.Checkpoint()
+	if [4]byte(blob[:4]) != trackerMagic {
+		t.Fatalf("checkpoint leads with %q, want PNM2", blob[:4])
+	}
+	restored, err := RestoreTracker(blob, newVerifier(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Packets() != live.Packets() {
+		t.Fatalf("Packets() = %d, want %d", restored.Packets(), live.Packets())
+	}
+	if got, want := restored.Order().SeenCount(), live.Order().SeenCount(); got != want {
+		t.Fatalf("SeenCount = %d, want %d", got, want)
+	}
+	for _, a := range live.Order().Seen() {
+		for _, b := range live.Order().Seen() {
+			if live.Order().Upstream(a, b) != restored.Order().Upstream(a, b) {
+				t.Fatalf("relation %v->%v lost in round trip", a, b)
+			}
+		}
+	}
+	if !reflect.DeepEqual(restored.Candidates(), live.Candidates()) {
+		t.Fatalf("Candidates = %v, want %v", restored.Candidates(), live.Candidates())
+	}
+	if !reflect.DeepEqual(restored.Verdict(), live.Verdict()) {
+		t.Fatalf("Verdict = %+v, want %+v", restored.Verdict(), live.Verdict())
+	}
+	// A second snapshot of the restored tracker is byte-identical.
+	if !reflect.DeepEqual(restored.Checkpoint(), blob) {
+		t.Fatal("re-checkpoint of the restored tracker differs")
+	}
+}
+
+// TestRestoreTrackerReadsPNM1 feeds RestoreTracker a bare order checkpoint:
+// the order survives, the (never persisted) count reads zero.
+func TestRestoreTrackerReadsPNM1(t *testing.T) {
+	o := NewOrder()
+	o.AddChain([]packet.NodeID{4, 2, 1})
+	o.AddChain([]packet.NodeID{3, 2})
+
+	tr, err := RestoreTracker(o.Checkpoint(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Packets() != 0 {
+		t.Fatalf("PNM1 restore Packets() = %d, want 0", tr.Packets())
+	}
+	if tr.Order().SeenCount() != o.SeenCount() {
+		t.Fatalf("SeenCount = %d, want %d", tr.Order().SeenCount(), o.SeenCount())
+	}
+	for _, a := range o.Seen() {
+		for _, b := range o.Seen() {
+			if o.Upstream(a, b) != tr.Order().Upstream(a, b) {
+				t.Fatalf("relation %v->%v lost reading PNM1", a, b)
+			}
+		}
+	}
+}
+
 func TestRestoreTrackerRejectsShortData(t *testing.T) {
 	if _, err := RestoreTracker([]byte{1, 2}, nil, nil); err == nil {
 		t.Fatal("short data accepted")
+	}
+	if _, err := RestoreTracker([]byte("PNM2\x00\x00\x00\x00"), nil, nil); err == nil {
+		t.Fatal("truncated PNM2 count accepted")
+	}
+	if _, err := RestoreTracker([]byte("PNMX01234567"), nil, nil); err == nil {
+		t.Fatal("unknown magic accepted")
 	}
 }

@@ -241,6 +241,57 @@ func (nw *Network) Rewire(seed int64, pinned ...packet.NodeID) *Network {
 	return out
 }
 
+// Reroute re-runs the BFS routing computation over the radio graph,
+// skipping nodes for which nodeDown reports true and edges for which
+// linkDown reports true — the route repair a tree protocol performs when a
+// parent dies or a link fades. Either predicate may be nil (nothing is
+// down). The returned Network shares positions and the neighbor graph with
+// the receiver; nodes cut off from the sink by the faults lose their route
+// (HasRoute reports false, Depth returns -1) until a later Reroute
+// reconnects them. Surviving nodes may be assigned a different parent than
+// before, but hop distances are the true distances in the degraded graph,
+// so the relative upstream relation along any surviving route is exact.
+// The sink never goes down; nodeDown is not consulted for it. BFS visits
+// the sorted neighbor lists in order, so the repaired tree is a pure
+// function of the fault predicates.
+func (nw *Network) Reroute(nodeDown func(packet.NodeID) bool, linkDown func(a, b packet.NodeID) bool) *Network {
+	out := &Network{
+		pos:       nw.pos,
+		neighbors: nw.neighbors,
+		parent:    make([]packet.NodeID, len(nw.parent)),
+		depth:     make([]int, len(nw.depth)),
+	}
+	for i := range out.depth {
+		out.depth[i] = -1
+	}
+	out.depth[0] = 0
+	queue := []packet.NodeID{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range nw.neighbors[u] {
+			if out.depth[v] != -1 {
+				continue
+			}
+			if nodeDown != nil && v != packet.SinkID && nodeDown(v) {
+				continue
+			}
+			if linkDown != nil && linkDown(u, v) {
+				continue
+			}
+			out.depth[v] = out.depth[u] + 1
+			out.parent[v] = u
+			queue = append(queue, v)
+		}
+	}
+	return out
+}
+
+// HasRoute reports whether id currently has a path to the sink. Networks
+// built by the constructors are fully connected; only Reroute can produce
+// orphans.
+func (nw *Network) HasRoute(id packet.NodeID) bool { return nw.depth[id] >= 0 }
+
 // NumNodes returns the number of sensor nodes (excluding the sink).
 func (nw *Network) NumNodes() int { return len(nw.pos) - 1 }
 

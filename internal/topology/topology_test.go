@@ -285,3 +285,123 @@ func TestDOTOutput(t *testing.T) {
 func containsStr(haystack, needle string) bool {
 	return len(haystack) >= len(needle) && strings.Contains(haystack, needle)
 }
+
+func TestRerouteAroundDeadParent(t *testing.T) {
+	// 3x3 grid with diagonal range: every interior node has several
+	// minimum-depth neighbors, so killing one parent must re-home its
+	// children instead of orphaning them.
+	nw, err := NewGrid(GridConfig{Width: 3, Height: 3, Spacing: 1, RadioRange: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a node at depth 1 that is some deeper node's parent.
+	var dead packet.NodeID
+	for _, id := range nw.Nodes() {
+		if nw.Depth(id) == 1 {
+			for _, other := range nw.Nodes() {
+				if other != id && nw.Parent(other) == id {
+					dead = id
+				}
+			}
+		}
+	}
+	if dead == 0 {
+		t.Fatal("no depth-1 parent found")
+	}
+	repaired := nw.Reroute(func(id packet.NodeID) bool { return id == dead }, nil)
+	if repaired.HasRoute(dead) {
+		t.Fatalf("dead node %v still routed", dead)
+	}
+	for _, id := range nw.Nodes() {
+		if id == dead {
+			continue
+		}
+		if !repaired.HasRoute(id) {
+			t.Fatalf("node %v orphaned by a single dead node in a dense grid", id)
+		}
+		if repaired.Parent(id) == dead {
+			t.Fatalf("node %v still routes through the dead node", id)
+		}
+		// Walk the repaired route to the sink.
+		hops := 0
+		for v := id; v != packet.SinkID; v = repaired.Parent(v) {
+			if v == dead {
+				t.Fatalf("route from %v passes the dead node", id)
+			}
+			if hops++; hops > repaired.NumNodes() {
+				t.Fatalf("route from %v does not terminate", id)
+			}
+		}
+		if repaired.Depth(id) != hops {
+			t.Fatalf("node %v: depth %d but route has %d hops", id, repaired.Depth(id), hops)
+		}
+	}
+}
+
+func TestRerouteLinkDownRehomesSubtree(t *testing.T) {
+	nw, err := NewGrid(GridConfig{Width: 4, Height: 4, Spacing: 1, RadioRange: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut one node's link to its parent: the node must pick another
+	// minimum-depth neighbor (the grid's diagonal range guarantees one).
+	child := nw.DeepestNode()
+	parent := nw.Parent(child)
+	cut := func(a, b packet.NodeID) bool {
+		return (a == child && b == parent) || (a == parent && b == child)
+	}
+	repaired := nw.Reroute(nil, cut)
+	if !repaired.HasRoute(child) {
+		t.Fatal("child orphaned by one cut link in a dense grid")
+	}
+	if repaired.Parent(child) == parent {
+		t.Fatal("child still routes over the cut link")
+	}
+	if repaired.Depth(child) != nw.Depth(child) {
+		t.Fatalf("depth changed %d -> %d despite alternate equal-depth parents",
+			nw.Depth(child), repaired.Depth(child))
+	}
+}
+
+func TestRerouteOrphansDisconnectedSubtree(t *testing.T) {
+	// On a chain the only route runs through every node: killing node 2
+	// orphans everything deeper.
+	nw, err := NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired := nw.Reroute(func(id packet.NodeID) bool { return id == 2 }, nil)
+	if !repaired.HasRoute(1) {
+		t.Fatal("node 1 should survive")
+	}
+	for id := packet.NodeID(2); id <= 5; id++ {
+		if repaired.HasRoute(id) {
+			t.Fatalf("node %v should be orphaned", id)
+		}
+		if repaired.Depth(id) != -1 {
+			t.Fatalf("orphan %v has depth %d, want -1", id, repaired.Depth(id))
+		}
+	}
+	// Repairing with the fault cleared restores the full tree.
+	restored := repaired.Reroute(nil, nil)
+	for id := packet.NodeID(1); id <= 5; id++ {
+		if !restored.HasRoute(id) || restored.Depth(id) != nw.Depth(id) {
+			t.Fatalf("node %v not restored: depth %d want %d", id, restored.Depth(id), nw.Depth(id))
+		}
+	}
+}
+
+func TestRerouteDeterministic(t *testing.T) {
+	nw, err := NewRandomGeometric(GeometricConfig{Nodes: 80, Side: 6, RadioRange: 1.5, Seed: 4, SinkAtCorner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := nw.DeepestNode()
+	down := func(id packet.NodeID) bool { return id == nw.Parent(dead) }
+	a, b := nw.Reroute(down, nil), nw.Reroute(down, nil)
+	for _, id := range nw.Nodes() {
+		if a.Parent(id) != b.Parent(id) || a.Depth(id) != b.Depth(id) {
+			t.Fatalf("Reroute not deterministic at node %v", id)
+		}
+	}
+}

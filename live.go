@@ -10,7 +10,40 @@ type (
 	LiveConfig = netsim.Config
 	// LiveNetwork is a running concurrent simulation; always Close it.
 	LiveNetwork = netsim.Network
+	// FaultPlan is a deterministic schedule of failures for a live
+	// network: node crash/restart, link churn, sink crash/restore.
+	FaultPlan = netsim.FaultPlan
+	// FaultEvent is one scheduled failure in a FaultPlan.
+	FaultEvent = netsim.FaultEvent
+	// FaultKind identifies a FaultEvent's failure kind.
+	FaultKind = netsim.FaultKind
+	// FaultPlanConfig parameterizes GenerateFaultPlan.
+	FaultPlanConfig = netsim.FaultPlanConfig
+	// LiveQueuePolicy selects a live network's inbox overflow behaviour.
+	LiveQueuePolicy = netsim.QueuePolicy
 )
+
+// The fault kinds a FaultPlan can schedule.
+const (
+	FaultNodeCrash   = netsim.FaultNodeCrash
+	FaultNodeRestart = netsim.FaultNodeRestart
+	FaultLinkDown    = netsim.FaultLinkDown
+	FaultLinkUp      = netsim.FaultLinkUp
+	FaultSinkCrash   = netsim.FaultSinkCrash
+	FaultSinkRestore = netsim.FaultSinkRestore
+)
+
+// The inbox overflow policies.
+const (
+	LiveQueueBlock      = netsim.QueueBlock
+	LiveQueueDropNewest = netsim.QueueDropNewest
+	LiveQueueDropOldest = netsim.QueueDropOldest
+)
+
+// GenerateFaultPlan builds a seeded, reproducible fault plan for topo.
+func GenerateFaultPlan(seed int64, topo *Topology, cfg FaultPlanConfig) *FaultPlan {
+	return netsim.GenerateFaultPlan(seed, topo, cfg)
+}
 
 // StartLive spins up a concurrent network simulation.
 func StartLive(cfg LiveConfig) (*LiveNetwork, error) { return netsim.Start(cfg) }
