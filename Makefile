@@ -6,7 +6,7 @@ GO ?= go
 # GOMAXPROCS. Results are byte-identical for every value.
 WORKERS ?= 0
 
-.PHONY: all build test race vet lint bench bench-resolver bench-sink bench-fault ci figures examples clean
+.PHONY: all build test race vet lint bench bench-resolver bench-sink bench-fault fuzz-smoke soak ci figures examples clean
 
 all: build test
 
@@ -54,10 +54,25 @@ bench-sink:
 bench-fault:
 	$(GO) run ./cmd/pnmsim -exp benchfault > BENCH_fault.json
 
+# Short coverage-guided fuzzing over the trust boundary: the hardened
+# packet decoder and the frame reader that feeds it untrusted socket
+# bytes. Each harness runs FUZZTIME on top of its committed seed corpus.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/packet
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeReport$$' -fuzztime $(FUZZTIME) ./internal/packet
+	$(GO) test -run '^$$' -fuzz '^FuzzFrame$$' -fuzztime $(FUZZTIME) ./internal/transport
+
+# Live-server soak: pnmload-style replay into a pipelined ingest server
+# over real sockets while a chaos plan crashes and restores the sink from
+# its PNM2 checkpoint, all under the race detector.
+soak:
+	$(GO) test -race -run 'TestLoopbackSoak' -count 1 ./internal/transport
+
 # What CI runs: build, vet, lint, the full test suite, and the race
 # detector over the packages that exercise goroutines.
 ci: build vet lint test
-	$(GO) test -race ./internal/netsim ./internal/mac ./internal/experiment ./internal/parallel ./internal/sink ./internal/obs
+	$(GO) test -race ./internal/netsim ./internal/mac ./internal/experiment ./internal/parallel ./internal/sink ./internal/obs ./internal/transport ./internal/loadgen
 
 # Regenerate every paper figure/table into results/. Run-averaged
 # experiments fan out across $(WORKERS) workers; output is byte-identical

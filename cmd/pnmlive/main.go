@@ -16,9 +16,16 @@
 // -debug ADDR serves net/http/pprof plus the simulator's obs counters
 // (expvar, under the "pnm" key) on ADDR for the lifetime of the run, and
 // dumps the counters to stderr at the end.
+//
+// -listen ADDR replaces the in-process simulator with a real socket: the
+// same scenario flags regenerate the deployment and key material, but the
+// marked reports arrive as framed TCP traffic (from pnmload) and the run
+// ends once -packets of them are verified. -loss/-quarantine/-chaos only
+// apply to the simulated network and are ignored in this mode.
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -33,13 +40,17 @@ import (
 	"time"
 
 	"pnm/internal/analytic"
+	"pnm/internal/loadgen"
 	"pnm/internal/mac"
 	"pnm/internal/marking"
 	"pnm/internal/mole"
 	"pnm/internal/netsim"
 	"pnm/internal/obs"
 	"pnm/internal/packet"
+	"pnm/internal/queue"
+	"pnm/internal/sink"
 	"pnm/internal/topology"
+	"pnm/internal/transport"
 )
 
 func main() {
@@ -66,15 +77,79 @@ func publishDebug(reg *obs.Registry) {
 	})
 }
 
-// netListen binds the debug address eagerly so a bad -debug value fails
-// the run instead of dying silently inside the serving goroutine. (The
-// net package name is shadowed by the simulator handle inside run.)
-func netListen(addr string) (net.Listener, error) {
-	return net.Listen("tcp", addr)
+// serveDebug publishes reg on addr and returns a shutdown func. The
+// listener is bound eagerly so a bad -debug value fails the run up front,
+// Serve errors surface through the returned func instead of dying
+// silently in the goroutine, and shutdown drains in-flight handlers
+// rather than racing them with a bare Close.
+func serveDebug(addr string, reg *obs.Registry) (func() error, error) {
+	publishDebug(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+	return func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}, nil
+}
+
+// printFinalVerdict writes the end-of-run summary. The stop and suspect
+// fields only mean something once a mark has been accepted, so the print
+// is gated on HasStop the same way the per-burst progress line is.
+func printFinalVerdict(w io.Writer, v sink.Verdict, moleID packet.NodeID) {
+	if !v.HasStop {
+		fmt.Fprintln(w, "\nfinal verdict: no marks accepted — no stop node")
+		return
+	}
+	fmt.Fprintf(w, "\nfinal verdict: stop %v, suspects %v, identified=%v\n", v.Stop, v.Suspects, v.Identified)
+	if v.SuspectsContain(moleID) {
+		fmt.Fprintln(w, "the mole is inside the suspected neighborhood")
+	}
+}
+
+// runListen is the -listen mode: the same scenario flags regenerate the
+// deployment, but the marked reports arrive over a real socket (pnmload
+// speaks the matching frame format) instead of the in-process simulator.
+func runListen(w io.Writer, addr string, cfg loadgen.Config, policy queue.Policy, packets int, reg *obs.Registry) error {
+	sc, err := loadgen.New(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := transport.Listen(addr, "", transport.Config{
+		NewVerifier: sc.NewVerifier,
+		Topo:        sc.Topo,
+		Policy:      policy,
+		Obs:         reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(w, "listening on %s\n", srv.Addr())
+	fmt.Fprintf(w, "network: %d nodes, mole %v at %d hops\n",
+		sc.Topo.NumNodes(), sc.Mole, sc.Hops)
+	if err := srv.WaitDelivered(packets, 5*time.Minute); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "delivered %d\n", srv.Delivered())
+	printFinalVerdict(w, srv.Verdict(), sc.Mole)
+	return nil
 }
 
 // run executes the live scenario.
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("pnmlive", flag.ContinueOnError)
 	var (
 		nodes      = fs.Int("nodes", 300, "sensor node count")
@@ -86,24 +161,39 @@ func run(args []string, w io.Writer) error {
 		quarantine = fs.Bool("quarantine", false, "isolate the suspected neighborhood once identified")
 		debugAddr  = fs.String("debug", "", "serve pprof and expvar obs counters on this address (e.g. localhost:6060)")
 		chaos      = fs.Bool("chaos", false, "run a seeded fault plan: node crash/restart, link churn, a sink crash+restore — the mole and its first hop are protected so the traceback still converges")
-		queue      = fs.String("queue", "block", "inbox overflow policy: block, drop-newest, drop-oldest")
+		queueFlag  = fs.String("queue", "block", "inbox overflow policy: block, drop-newest, drop-oldest")
+		listen     = fs.String("listen", "", "serve framed TCP ingest on this address instead of simulating (see pnmload)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := queue.Parse(*queueFlag)
+	if err != nil {
 		return err
 	}
 
 	// The obs registry is always live; -debug additionally publishes it.
 	reg := obs.New()
 	if *debugAddr != "" {
-		publishDebug(reg)
-		ln, err := netListen(*debugAddr)
-		if err != nil {
-			return err
+		stop, derr := serveDebug(*debugAddr, reg)
+		if derr != nil {
+			return derr
 		}
-		srv := &http.Server{Handler: http.DefaultServeMux}
-		defer srv.Close()
-		go srv.Serve(ln)
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+		defer func() {
+			if derr := stop(); derr != nil && err == nil {
+				err = derr
+			}
+		}()
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\nobs counters:")
+			reg.Fprint(os.Stderr)
+		}()
+	}
+
+	if *listen != "" {
+		return runListen(w, *listen, loadgen.Config{
+			Nodes: *nodes, Side: *side, RadioRange: *radioRange, Seed: *seed,
+		}, policy, *packets, reg)
 	}
 
 	topo, err := topology.NewRandomGeometric(topology.GeometricConfig{
@@ -117,17 +207,6 @@ func run(args []string, w io.Writer) error {
 	hops := topo.Depth(moleID)
 	scheme := marking.PNM{P: analytic.ProbabilityForMarks(hops-1, 3)}
 
-	var policy netsim.QueuePolicy
-	switch *queue {
-	case "block":
-		policy = netsim.QueueBlock
-	case "drop-newest":
-		policy = netsim.QueueDropNewest
-	case "drop-oldest":
-		policy = netsim.QueueDropOldest
-	default:
-		return fmt.Errorf("unknown -queue policy %q (want block, drop-newest or drop-oldest)", *queue)
-	}
 	var plan *netsim.FaultPlan
 	if *chaos {
 		plan = netsim.GenerateFaultPlan(*seed, topo, netsim.FaultPlanConfig{
@@ -198,14 +277,6 @@ func run(args []string, w io.Writer) error {
 	}
 
 	time.Sleep(200 * time.Millisecond)
-	v := net.Verdict()
-	fmt.Fprintf(w, "\nfinal verdict: stop %v, suspects %v, identified=%v\n", v.Stop, v.Suspects, v.Identified)
-	if v.SuspectsContain(moleID) {
-		fmt.Fprintln(w, "the mole is inside the suspected neighborhood")
-	}
-	if *debugAddr != "" {
-		fmt.Fprintln(os.Stderr, "\nobs counters:")
-		reg.Fprint(os.Stderr)
-	}
+	printFinalVerdict(w, net.Verdict(), moleID)
 	return nil
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pnm/internal/loadgen"
+	"pnm/internal/transport"
+)
+
+// TestLoadReplay points the generator at an in-test transport server and
+// checks the server's verdict matches -expect's ground-truth line.
+func TestLoadReplay(t *testing.T) {
+	const packets = 150
+	sc, err := loadgen.New(loadgen.Config{Nodes: 80, Side: 5, RadioRange: 1.4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.Listen("127.0.0.1:0", "", transport.Config{
+		NewVerifier: sc.NewVerifier,
+		Topo:        sc.Topo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	args := []string{
+		"-addr", srv.Addr().String(),
+		"-nodes", "80", "-side", "5", "-range", "1.4", "-seed", "3",
+		"-packets", "150", "-rate", "50000",
+	}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "sent 150 frames") {
+		t.Fatalf("summary missing; output:\n%s", out.String())
+	}
+	if err := srv.WaitDelivered(packets, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var expect bytes.Buffer
+	if err := run(append(args, "-expect"), &expect); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(expect.String())
+	if got := loadgen.FormatVerdict(srv.Verdict()); got != want {
+		t.Fatalf("server verdict differs from -expect\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestLoadConnectFailure checks the retry loop gives up with a useful
+// error instead of spinning forever.
+func TestLoadConnectFailure(t *testing.T) {
+	err := run([]string{"-addr", "127.0.0.1:1", "-retries", "1", "-packets", "1"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "connecting to") {
+		t.Fatalf("want connection error, got %v", err)
+	}
+}

@@ -182,6 +182,9 @@ var DeterministicPackages = []string{
 	"internal/parallel",
 	"internal/netsim",
 	"internal/obs",
+	"internal/queue",
+	"internal/loadgen",
+	"internal/transport",
 }
 
 // DefaultAnalyzers returns the standard pnm analyzer suite for a module.

@@ -28,37 +28,27 @@ import (
 	"pnm/internal/node"
 	"pnm/internal/obs"
 	"pnm/internal/packet"
+	"pnm/internal/queue"
 	"pnm/internal/sink"
 	"pnm/internal/topology"
 )
 
 // QueuePolicy selects what a transmission does when the receiver's inbox
-// is full.
-type QueuePolicy int
+// is full. It is the shared queue.Policy vocabulary, so simulator configs
+// and the live transport server (internal/transport) speak the same
+// backpressure language.
+type QueuePolicy = queue.Policy
 
-// The queue-overflow policies.
+// The queue-overflow policies, re-exported under their historical names.
 const (
 	// QueueBlock counts the stall, then blocks until the receiver drains —
 	// lossless backpressure, the historical behavior.
-	QueueBlock QueuePolicy = iota
+	QueueBlock = queue.Block
 	// QueueDropNewest discards the arriving frame (tail drop).
-	QueueDropNewest
+	QueueDropNewest = queue.DropNewest
 	// QueueDropOldest evicts the oldest queued frame to admit the new one.
-	QueueDropOldest
+	QueueDropOldest = queue.DropOldest
 )
-
-// String names the policy.
-func (p QueuePolicy) String() string {
-	switch p {
-	case QueueBlock:
-		return "block"
-	case QueueDropNewest:
-		return "drop-newest"
-	case QueueDropOldest:
-		return "drop-oldest"
-	}
-	return fmt.Sprintf("QueuePolicy(%d)", int(p))
-}
 
 // Config describes a live network.
 type Config struct {

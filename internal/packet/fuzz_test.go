@@ -28,10 +28,23 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x00, 0x01})
+	// A mark-count bomb: a valid report followed by many minimal marks.
+	bomb := Report{}.Encode(nil)
+	for i := 0; i < 64; i++ {
+		bomb = Mark{ID: NodeID(i + 1)}.Encode(bomb)
+	}
+	f.Add(bomb)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The bounded decoder must never panic and must be at least as
+		// strict as the unlimited one.
+		limited, limErr := DecodeLimit{MaxBytes: 1 << 12, MaxMarks: 16}.Decode(data)
+
 		msg, err := Decode(data)
 		if err != nil {
+			if limErr == nil {
+				t.Fatalf("DecodeLimit accepted input Decode rejects: %x", data)
+			}
 			return
 		}
 		re := msg.Encode(nil)
@@ -40,6 +53,16 @@ func FuzzDecode(f *testing.F) {
 		}
 		if msg.WireSize() != len(data) {
 			t.Fatalf("WireSize = %d, data = %d", msg.WireSize(), len(data))
+		}
+		if limErr == nil && !bytes.Equal(limited.Encode(nil), data) {
+			t.Fatalf("limited decode not canonical:\n in: %x", data)
+		}
+		if limErr != nil && len(data) <= 1<<12 && len(msg.Marks) <= 16 {
+			t.Fatalf("DecodeLimit rejected in-bounds input: %v", limErr)
+		}
+		// EncodePrefix must tolerate any k for a decoded message.
+		for _, k := range []int{-1, 0, len(msg.Marks), len(msg.Marks) + 3} {
+			msg.EncodePrefix(nil, k)
 		}
 	})
 }

@@ -189,7 +189,16 @@ func (m Message) Encode(dst []byte) []byte {
 // EncodePrefix appends the encoding of the report and the first k marks.
 // This is exactly the byte string "M_{i-1}" that the k-th marking node
 // received from its previous hop, i.e. what a nested MAC must cover.
+// k is clamped to [0, len(Marks)] — an out-of-range prefix is a caller bug
+// but must not panic once messages arrive from untrusted sockets, where a
+// hostile peer controls the mark count the caller indexes by.
 func (m Message) EncodePrefix(dst []byte, k int) []byte {
+	if k > len(m.Marks) {
+		k = len(m.Marks)
+	}
+	if k < 0 {
+		k = 0
+	}
 	dst = m.Report.Encode(dst)
 	for _, mk := range m.Marks[:k] {
 		dst = mk.Encode(dst)
@@ -197,8 +206,35 @@ func (m Message) EncodePrefix(dst []byte, k int) []byte {
 	return dst
 }
 
-// Decode parses a full message. It rejects trailing garbage.
-func Decode(b []byte) (Message, error) {
+// Decode limit errors, distinguishable so transport layers can count them
+// separately from plain truncation.
+var (
+	// ErrTooLarge reports input longer than the decode limit allows.
+	ErrTooLarge = errors.New("packet: message exceeds size limit")
+	// ErrTooManyMarks reports a mark-count bomb: more marks than the
+	// decode limit allows.
+	ErrTooManyMarks = errors.New("packet: too many marks")
+)
+
+// DecodeLimit bounds what Decode accepts. The zero value is unlimited —
+// the historical trusting behavior, fine for in-process messages. Any
+// decoder fed from a socket must set both bounds: MaxBytes caps the
+// attacker-controlled allocation and MaxMarks caps the per-packet
+// verification work (each mark costs the sink MAC recomputations).
+type DecodeLimit struct {
+	// MaxBytes rejects inputs longer than this many bytes; 0 = unlimited.
+	MaxBytes int
+	// MaxMarks rejects messages carrying more than this many marks;
+	// 0 = unlimited.
+	MaxMarks int
+}
+
+// Decode parses a full message under the limit. It rejects trailing
+// garbage and never panics on hostile input.
+func (l DecodeLimit) Decode(b []byte) (Message, error) {
+	if l.MaxBytes > 0 && len(b) > l.MaxBytes {
+		return Message{}, fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, len(b), l.MaxBytes)
+	}
 	rep, err := DecodeReport(b)
 	if err != nil {
 		return Message{}, err
@@ -206,6 +242,9 @@ func Decode(b []byte) (Message, error) {
 	msg := Message{Report: rep}
 	rest := b[ReportLen:]
 	for len(rest) > 0 {
+		if l.MaxMarks > 0 && len(msg.Marks) >= l.MaxMarks {
+			return Message{}, fmt.Errorf("%w: limit %d", ErrTooManyMarks, l.MaxMarks)
+		}
 		mk, n, err := decodeMark(rest)
 		if err != nil {
 			return Message{}, err
@@ -214,4 +253,11 @@ func Decode(b []byte) (Message, error) {
 		rest = rest[n:]
 	}
 	return msg, nil
+}
+
+// Decode parses a full message with no limits — for trusted, in-process
+// input. It rejects trailing garbage. Untrusted input (anything off a
+// socket) must go through a DecodeLimit instead.
+func Decode(b []byte) (Message, error) {
+	return DecodeLimit{}.Decode(b)
 }

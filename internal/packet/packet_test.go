@@ -2,6 +2,7 @@ package packet
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -143,6 +144,62 @@ func TestEncodePrefix(t *testing.T) {
 		if !bytes.Equal(prefix, sub.Encode(nil)) {
 			t.Fatalf("prefix k=%d differs from encoding of truncated message", k)
 		}
+	}
+}
+
+func TestEncodePrefixOutOfRangeClamps(t *testing.T) {
+	msg := Message{
+		Report: Report{Event: 1},
+		Marks:  []Mark{{ID: 1}, {ID: 2}},
+	}
+	full := msg.Encode(nil)
+	// k beyond the mark count clamps to the full encoding instead of
+	// panicking — the slice bound is attacker-reachable once messages
+	// arrive over the wire.
+	if got := msg.EncodePrefix(nil, len(msg.Marks)+5); !bytes.Equal(got, full) {
+		t.Fatalf("EncodePrefix(k>len) = %x, want full encoding %x", got, full)
+	}
+	if got := msg.EncodePrefix(nil, -1); !bytes.Equal(got, msg.Report.Encode(nil)) {
+		t.Fatalf("EncodePrefix(-1) = %x, want bare report", got)
+	}
+}
+
+func TestDecodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	msg := randomMessage(rng)
+	for len(msg.Marks) < 4 {
+		msg = randomMessage(rng)
+	}
+	enc := msg.Encode(nil)
+
+	tests := []struct {
+		name    string
+		limit   DecodeLimit
+		give    []byte
+		wantErr error // nil means decode must succeed
+	}{
+		{name: "zero value is unlimited", limit: DecodeLimit{}, give: enc},
+		{name: "within both bounds", limit: DecodeLimit{MaxBytes: len(enc), MaxMarks: len(msg.Marks)}, give: enc},
+		{name: "size bomb", limit: DecodeLimit{MaxBytes: len(enc) - 1}, give: enc, wantErr: ErrTooLarge},
+		{name: "mark-count bomb", limit: DecodeLimit{MaxMarks: len(msg.Marks) - 1}, give: enc, wantErr: ErrTooManyMarks},
+		{name: "mark limit ignores markless", limit: DecodeLimit{MaxMarks: 1}, give: Message{Report: msg.Report}.Encode(nil)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.limit.Decode(tt.give)
+			if tt.wantErr != nil {
+				if !errors.Is(err, tt.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Encode(nil), tt.give) {
+				t.Fatal("limited decode is not canonical")
+			}
+		})
 	}
 }
 

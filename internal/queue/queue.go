@@ -1,0 +1,51 @@
+// Package queue defines the bounded-queue overflow policies shared by the
+// in-process simulator (internal/netsim) and the real network ingest
+// frontend (internal/transport). Both layers face the same question — what
+// does a producer do when the consumer's bounded queue is full? — and the
+// answer must be the same vocabulary so a scenario tuned against the
+// simulator maps one-to-one onto the live server's backpressure knobs.
+package queue
+
+import "fmt"
+
+// Policy selects what an enqueue does when the receiving queue is full.
+type Policy int
+
+// The queue-overflow policies.
+const (
+	// Block counts the stall, then blocks until the receiver drains —
+	// lossless backpressure. On a real TCP ingest path the block
+	// propagates into the kernel socket buffer and from there to the
+	// sender's congestion window.
+	Block Policy = iota
+	// DropNewest discards the arriving item (tail drop).
+	DropNewest
+	// DropOldest evicts the oldest queued item to admit the new one.
+	DropOldest
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Parse maps the flag spellings used by pnmlive/pnmserve to a Policy.
+func Parse(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-newest":
+		return DropNewest, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	}
+	return 0, fmt.Errorf("queue: unknown policy %q (want block, drop-newest or drop-oldest)", s)
+}

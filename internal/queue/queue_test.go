@@ -1,0 +1,21 @@
+package queue
+
+import "testing"
+
+func TestStringAndParse(t *testing.T) {
+	for _, p := range []Policy{Block, DropNewest, DropOldest} {
+		got, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("Parse(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("Parse(bogus): want error")
+	}
+	if s := Policy(42).String(); s != "Policy(42)" {
+		t.Fatalf("unknown policy String = %q", s)
+	}
+}

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+
+	"pnm/internal/packet"
+)
+
+// Client writes framed messages to an ingest server. It is a
+// single-goroutine object: one sender owns the connection, the buffered
+// writer and the frame scratch buffer.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	buf  []byte
+	// datagram is set for UDP clients, where each frame must leave as
+	// its own write (one datagram = one frame).
+	datagram bool
+}
+
+// Dial connects to a TCP ingest server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, bw: bufio.NewWriter(conn)}, nil
+}
+
+// DialUDP connects to a UDP ingest endpoint. Delivery is best-effort:
+// the kernel may drop datagrams under load, exactly the lossy-link
+// regime the marking schemes are designed for.
+func DialUDP(addr string) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, datagram: true}, nil
+}
+
+// Send frames and writes one message. TCP sends coalesce in the buffered
+// writer until Flush; UDP sends leave immediately.
+func (c *Client) Send(msg packet.Message) error {
+	c.buf = AppendFrame(c.buf[:0], msg)
+	if c.datagram {
+		_, err := c.conn.Write(c.buf)
+		return err
+	}
+	_, err := c.bw.Write(c.buf)
+	return err
+}
+
+// Flush pushes buffered frames to the socket. A no-op for UDP.
+func (c *Client) Flush() error {
+	if c.bw == nil {
+		return nil
+	}
+	return c.bw.Flush()
+}
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	if err := c.Flush(); err != nil {
+		c.conn.Close()
+		return err
+	}
+	return c.conn.Close()
+}

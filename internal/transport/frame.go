@@ -1,0 +1,212 @@
+// Package transport puts the wire format on real sockets: a length-
+// prefixed, versioned frame around the packet.Message encoding, a TCP
+// (and optional UDP) ingest server feeding the sink verification
+// pipeline, and a client for load generators. This is the trust
+// boundary: everything read here is attacker-controlled bytes, so every
+// decode path is bounded (max frame size, max marks) and every rejection
+// is counted, never panicked on.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pnm/internal/packet"
+)
+
+// Frame header layout: magic(2) version(1) type(1) length(4, big endian),
+// then length payload bytes. The header is fixed-size so a reader can
+// resynchronize only at connection granularity — a malformed header kills
+// the connection, a malformed payload only the frame.
+const (
+	// frameMagic guards against a peer speaking a different protocol.
+	frameMagic uint16 = 0x504E // "PN"
+	// FrameVersion is the current header version.
+	FrameVersion byte = 1
+	// FrameReport is the only frame type so far: one encoded
+	// packet.Message. Further types (checkpoint transfer, shard
+	// hand-off) get new values; unknown types are a counted error.
+	FrameReport byte = 1
+	// FrameHeaderLen is the fixed header size.
+	FrameHeaderLen = 8
+)
+
+// Default ingest bounds. A report plus a full routing path of marks is
+// well under a kilobyte; 64 KiB leaves room for deep topologies while
+// capping what one hostile frame can make the server allocate.
+const (
+	// DefaultMaxFrameBytes bounds one frame's payload.
+	DefaultMaxFrameBytes = 64 << 10
+	// DefaultMaxMarks bounds the marks one message may carry. Each mark
+	// costs the sink MAC work, so this bounds per-packet verification
+	// cost, not just memory.
+	DefaultMaxMarks = 512
+)
+
+// Limits bounds what the frame layer accepts from a peer.
+type Limits struct {
+	// MaxFrameBytes rejects frames whose payload exceeds this; <= 0
+	// selects DefaultMaxFrameBytes.
+	MaxFrameBytes int
+	// MaxMarks rejects messages carrying more marks; <= 0 selects
+	// DefaultMaxMarks.
+	MaxMarks int
+}
+
+// withDefaults fills zero fields.
+func (l Limits) withDefaults() Limits {
+	if l.MaxFrameBytes <= 0 {
+		l.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if l.MaxMarks <= 0 {
+		l.MaxMarks = DefaultMaxMarks
+	}
+	return l
+}
+
+// decodeLimit maps the frame limits onto the packet decoder's bounds.
+func (l Limits) decodeLimit() packet.DecodeLimit {
+	return packet.DecodeLimit{MaxBytes: l.MaxFrameBytes, MaxMarks: l.MaxMarks}
+}
+
+// Frame-layer errors. Header errors are fatal to the stream (framing can
+// no longer be trusted); payload errors are recoverable (the frame
+// boundary held, only its contents were hostile).
+var (
+	// ErrBadMagic reports a peer that is not speaking this protocol.
+	ErrBadMagic = errors.New("transport: bad frame magic")
+	// ErrBadVersion reports an unsupported frame version.
+	ErrBadVersion = errors.New("transport: unsupported frame version")
+	// ErrBadType reports an unknown frame type.
+	ErrBadType = errors.New("transport: unknown frame type")
+	// ErrFrameTooBig reports a length field beyond the limit.
+	ErrFrameTooBig = errors.New("transport: frame exceeds size limit")
+	// ErrBadPayload wraps a payload that failed the bounded message
+	// decode. It is the only recoverable frame error.
+	ErrBadPayload = errors.New("transport: bad frame payload")
+)
+
+// Recoverable reports whether a FrameReader.Next error allows reading the
+// following frame: the framing survived, only the payload was rejected.
+func Recoverable(err error) bool {
+	return errors.Is(err, ErrBadPayload)
+}
+
+// AppendFrame appends one framed message to dst and returns it — the
+// encoding side of the wire format, shared by the client and tests.
+func AppendFrame(dst []byte, msg packet.Message) []byte {
+	start := len(dst)
+	var hdr [FrameHeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
+	hdr[2] = FrameVersion
+	hdr[3] = FrameReport
+	dst = append(dst, hdr[:]...)
+	dst = msg.Encode(dst)
+	payload := len(dst) - start - FrameHeaderLen
+	binary.BigEndian.PutUint32(dst[start+4:], uint32(payload))
+	return dst
+}
+
+// FrameReader decodes a stream of frames under the given limits. It is a
+// single-goroutine object (one per connection) reusing one payload
+// buffer across frames.
+type FrameReader struct {
+	br      *bufio.Reader
+	limits  Limits
+	payload []byte
+}
+
+// NewFrameReader wraps r. Zero limit fields select the defaults.
+func NewFrameReader(r io.Reader, limits Limits) *FrameReader {
+	return &FrameReader{br: bufio.NewReader(r), limits: limits.withDefaults()}
+}
+
+// Next reads one frame and decodes its message. io.EOF cleanly between
+// frames means the stream ended; any other error classifies via
+// Recoverable. The returned message owns its memory (mark storage is not
+// shared with the reader's buffer).
+func (fr *FrameReader) Next() (packet.Message, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(fr.br, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return packet.Message{}, io.EOF
+		}
+		return packet.Message{}, fmt.Errorf("transport: frame header: %w", err)
+	}
+	if _, err := io.ReadFull(fr.br, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return packet.Message{}, fmt.Errorf("transport: frame header: %w", err)
+	}
+	msg, _, err := fr.decodeAfterHeader(hdr)
+	return msg, err
+}
+
+// decodeAfterHeader validates a complete header and reads + decodes the
+// payload, returning the consumed payload length for accounting.
+func (fr *FrameReader) decodeAfterHeader(hdr [FrameHeaderLen]byte) (packet.Message, int, error) {
+	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
+		return packet.Message{}, 0, ErrBadMagic
+	}
+	if hdr[2] != FrameVersion {
+		return packet.Message{}, 0, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
+	}
+	if hdr[3] != FrameReport {
+		return packet.Message{}, 0, fmt.Errorf("%w: %d", ErrBadType, hdr[3])
+	}
+	n := int(binary.BigEndian.Uint32(hdr[4:]))
+	if n > fr.limits.MaxFrameBytes {
+		return packet.Message{}, 0, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooBig, n, fr.limits.MaxFrameBytes)
+	}
+	if cap(fr.payload) < n {
+		fr.payload = make([]byte, n)
+	}
+	buf := fr.payload[:n]
+	if _, err := io.ReadFull(fr.br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return packet.Message{}, 0, fmt.Errorf("transport: frame payload: %w", err)
+	}
+	msg, err := fr.limits.decodeLimit().Decode(buf)
+	if err != nil {
+		// The frame boundary held; only the contents are rejected.
+		return packet.Message{}, n, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return msg, n, nil
+}
+
+// DecodeDatagram decodes one datagram carrying exactly one frame — the
+// UDP ingest path. Every error is per-datagram (there is no stream to
+// corrupt), so callers count and continue.
+func DecodeDatagram(b []byte, limits Limits) (packet.Message, error) {
+	limits = limits.withDefaults()
+	if len(b) < FrameHeaderLen {
+		return packet.Message{}, fmt.Errorf("transport: datagram header: %w", io.ErrUnexpectedEOF)
+	}
+	if binary.BigEndian.Uint16(b[0:]) != frameMagic {
+		return packet.Message{}, ErrBadMagic
+	}
+	if b[2] != FrameVersion {
+		return packet.Message{}, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	if b[3] != FrameReport {
+		return packet.Message{}, fmt.Errorf("%w: %d", ErrBadType, b[3])
+	}
+	n := int(binary.BigEndian.Uint32(b[4:]))
+	if n > limits.MaxFrameBytes {
+		return packet.Message{}, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooBig, n, limits.MaxFrameBytes)
+	}
+	if n != len(b)-FrameHeaderLen {
+		return packet.Message{}, fmt.Errorf("transport: datagram length %d, header claims %d", len(b)-FrameHeaderLen, n)
+	}
+	msg, err := limits.decodeLimit().Decode(b[FrameHeaderLen:])
+	if err != nil {
+		return packet.Message{}, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return msg, nil
+}

@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"pnm/internal/packet"
+)
+
+// randomMessage builds an arbitrary valid message.
+func randomMessage(rng *rand.Rand, maxMarks int) packet.Message {
+	msg := packet.Message{Report: packet.Report{
+		Event:     rng.Uint32(),
+		Location:  rng.Uint32(),
+		Timestamp: rng.Uint64(),
+		Seq:       rng.Uint32(),
+	}}
+	n := rng.Intn(maxMarks + 1)
+	for i := 0; i < n; i++ {
+		var mk packet.Mark
+		if rng.Intn(2) == 0 {
+			mk.Anonymous = true
+			rng.Read(mk.AnonID[:])
+		} else {
+			mk.ID = packet.NodeID(1 + rng.Intn(1<<15))
+		}
+		rng.Read(mk.MAC[:])
+		msg.Marks = append(msg.Marks, mk)
+	}
+	return msg
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var stream []byte
+	var want []packet.Message
+	for i := 0; i < 50; i++ {
+		msg := randomMessage(rng, 6)
+		want = append(want, msg)
+		stream = AppendFrame(stream, msg)
+	}
+	fr := NewFrameReader(bytes.NewReader(stream), Limits{})
+	for i, w := range want {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Encode(nil), w.Encode(nil)) {
+			t.Fatalf("frame %d round trip differs", i)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+// frameWith builds a frame then lets the caller corrupt it.
+func frameWith(corrupt func([]byte) []byte) []byte {
+	msg := packet.Message{Report: packet.Report{Event: 1, Seq: 2},
+		Marks: []packet.Mark{{ID: 3, MAC: [packet.MACLen]byte{4}}}}
+	return corrupt(AppendFrame(nil, msg))
+}
+
+func TestFrameReaderHostileInput(t *testing.T) {
+	markBomb := func(n int) []byte {
+		msg := packet.Message{Report: packet.Report{Event: 9}}
+		for i := 0; i < n; i++ {
+			msg.Marks = append(msg.Marks, packet.Mark{ID: packet.NodeID(i + 1)})
+		}
+		return AppendFrame(nil, msg)
+	}
+	tests := []struct {
+		name        string
+		give        []byte
+		limits      Limits
+		wantErr     error
+		recoverable bool
+	}{
+		{
+			name: "truncated header",
+			give: frameWith(func(b []byte) []byte { return b[:FrameHeaderLen-2] }),
+		},
+		{
+			name: "truncated payload",
+			give: frameWith(func(b []byte) []byte { return b[:len(b)-3] }),
+		},
+		{
+			name:    "bad magic",
+			give:    frameWith(func(b []byte) []byte { b[0] = 0xFF; return b }),
+			wantErr: ErrBadMagic,
+		},
+		{
+			name:    "bad version",
+			give:    frameWith(func(b []byte) []byte { b[2] = 99; return b }),
+			wantErr: ErrBadVersion,
+		},
+		{
+			name:    "bad type",
+			give:    frameWith(func(b []byte) []byte { b[3] = 42; return b }),
+			wantErr: ErrBadType,
+		},
+		{
+			name: "oversized length claim",
+			give: frameWith(func(b []byte) []byte {
+				binary.BigEndian.PutUint32(b[4:], 1<<30)
+				return b
+			}),
+			wantErr: ErrFrameTooBig,
+		},
+		{
+			name:        "mark-count bomb",
+			give:        markBomb(64),
+			limits:      Limits{MaxMarks: 8},
+			wantErr:     ErrBadPayload,
+			recoverable: true,
+		},
+		{
+			name: "unknown mark kind",
+			give: frameWith(func(b []byte) []byte {
+				// First mark's flag byte sits right after the report.
+				b[FrameHeaderLen+packet.ReportLen] = 7
+				return b
+			}),
+			wantErr:     ErrBadPayload,
+			recoverable: true,
+		},
+		{
+			name: "trailing garbage payload",
+			give: frameWith(func(b []byte) []byte {
+				b = append(b, 0xAB)
+				binary.BigEndian.PutUint32(b[4:], uint32(len(b)-FrameHeaderLen))
+				return b
+			}),
+			wantErr:     ErrBadPayload,
+			recoverable: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			fr := NewFrameReader(bytes.NewReader(tt.give), tt.limits)
+			_, err := fr.Next()
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tt.wantErr)
+			}
+			if got := Recoverable(err); got != tt.recoverable {
+				t.Fatalf("Recoverable = %v, want %v", got, tt.recoverable)
+			}
+		})
+	}
+}
+
+func TestFrameReaderRecoversAfterBadPayload(t *testing.T) {
+	good := packet.Message{Report: packet.Report{Event: 7}}
+	stream := frameWith(func(b []byte) []byte {
+		b[FrameHeaderLen+packet.ReportLen] = 7 // unknown mark kind
+		return b
+	})
+	stream = AppendFrame(stream, good)
+	fr := NewFrameReader(bytes.NewReader(stream), Limits{})
+	if _, err := fr.Next(); !Recoverable(err) {
+		t.Fatalf("first frame: want recoverable error, got %v", err)
+	}
+	got, err := fr.Next()
+	if err != nil {
+		t.Fatalf("second frame: %v", err)
+	}
+	if got.Report != good.Report {
+		t.Fatalf("second frame = %+v", got)
+	}
+}
+
+func TestDecodeDatagram(t *testing.T) {
+	msg := randomMessage(rand.New(rand.NewSource(2)), 4)
+	b := AppendFrame(nil, msg)
+	got, err := DecodeDatagram(b, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encode(nil), msg.Encode(nil)) {
+		t.Fatal("datagram round trip differs")
+	}
+	if _, err := DecodeDatagram(b[:5], Limits{}); err == nil {
+		t.Fatal("want error for truncated datagram")
+	}
+	if _, err := DecodeDatagram(append(b, 1), Limits{}); err == nil {
+		t.Fatal("want error for datagram with trailing bytes")
+	}
+	b[0] = 0xFF
+	if _, err := DecodeDatagram(b, Limits{}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"pnm/internal/packet"
+)
+
+// FuzzFrame feeds arbitrary bytes to the frame reader and the datagram
+// decoder, proving neither panics, and that every message a reader
+// accepts re-frames to a decodable frame (the framing is canonical).
+func FuzzFrame(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	var stream []byte
+	for i := 0; i < 3; i++ {
+		stream = AppendFrame(stream, randomMessage(rng, 4))
+	}
+	f.Add(stream)
+	f.Add(AppendFrame(nil, packet.Message{}))
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x4E, 1, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	// A frame whose payload is a mark-count bomb.
+	bomb := packet.Message{}
+	for i := 0; i < 40; i++ {
+		bomb.Marks = append(bomb.Marks, packet.Mark{ID: packet.NodeID(i + 1)})
+	}
+	f.Add(AppendFrame(nil, bomb))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		limits := Limits{MaxFrameBytes: 1 << 12, MaxMarks: 16}
+		fr := NewFrameReader(bytes.NewReader(data), limits)
+		for i := 0; i < 1000; i++ {
+			msg, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if Recoverable(err) {
+					continue // framing held; keep reading
+				}
+				break
+			}
+			// Anything accepted must re-frame canonically.
+			re := AppendFrame(nil, msg)
+			got, err := DecodeDatagram(re, limits)
+			if err != nil {
+				t.Fatalf("accepted message does not re-frame: %v", err)
+			}
+			if !bytes.Equal(got.Encode(nil), msg.Encode(nil)) {
+				t.Fatal("re-framed message differs")
+			}
+			if len(msg.Marks) > limits.MaxMarks {
+				t.Fatalf("reader accepted %d marks over limit %d", len(msg.Marks), limits.MaxMarks)
+			}
+			if msg.WireSize() > limits.MaxFrameBytes {
+				t.Fatalf("reader accepted %d bytes over limit %d", msg.WireSize(), limits.MaxFrameBytes)
+			}
+		}
+		// The datagram path must hold for the same bytes.
+		if msg, err := DecodeDatagram(data, limits); err == nil {
+			if len(msg.Marks) > limits.MaxMarks {
+				t.Fatalf("datagram accepted %d marks over limit", len(msg.Marks))
+			}
+		}
+	})
+}

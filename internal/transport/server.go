@@ -1,0 +1,604 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pnm/internal/obs"
+	"pnm/internal/packet"
+	"pnm/internal/queue"
+	"pnm/internal/sink"
+	"pnm/internal/topology"
+)
+
+// Config describes an ingest server.
+type Config struct {
+	// NewVerifier builds one single-goroutine verifier chain. The serial
+	// sink, every pipeline worker and every chaos restore construct their
+	// own instance through it. Required.
+	NewVerifier func() sink.Verifier
+	// Topo, when non-nil, lets verdicts name one-hop neighborhoods.
+	Topo *topology.Network
+	// Workers > 1 verifies batches through a sink.Pipeline of that many
+	// workers; <= 1 keeps the serial sink loop. Verdicts are
+	// byte-identical either way.
+	Workers int
+	// QueueDepth is the ingest queue depth between the socket readers and
+	// the sink goroutine (default 256). It is also the maximum batch one
+	// pipeline pass verifies.
+	QueueDepth int
+	// Policy selects what a reader does when the ingest queue is full:
+	// Block applies lossless backpressure (the stall propagates into the
+	// peer's TCP window), DropNewest and DropOldest shed load. The same
+	// vocabulary internal/netsim simulates.
+	Policy queue.Policy
+	// Limits bounds the frame decoder; zero fields select the defaults.
+	Limits Limits
+	// MaxConns bounds concurrent TCP connections (default 64); excess
+	// accepts are counted and closed immediately.
+	MaxConns int
+	// Obs, when non-nil, binds the transport.* counters and histograms
+	// plus the whole sink chain's metrics into the registry.
+	Obs *obs.Registry
+	// Chaos, when non-nil, schedules sink crash/restore events against
+	// the live server — the PR 5 fault plans re-aimed at the transport
+	// layer as a soak test. Events fire on the sink goroutine at
+	// processed-frame milestones; frames arriving while the sink is down
+	// are dropped and counted, exactly like the simulator's sink outage.
+	Chaos *ChaosPlan
+}
+
+// ChaosKind identifies one transport-level fault.
+type ChaosKind int
+
+// The transport chaos kinds — the subset of netsim's fault taxonomy that
+// exists on a real server (there are no simulated nodes to crash here;
+// node and link events belong to the network in front of the server).
+const (
+	// ChaosSinkCrash checkpoints the tracker (PNM2) and takes the sink
+	// down; frames keep arriving and are dropped, counted.
+	ChaosSinkCrash ChaosKind = iota + 1
+	// ChaosSinkRestore rebuilds the sink chain from the crash checkpoint
+	// with a fresh verifier (and pipeline, when Workers > 1).
+	ChaosSinkRestore
+)
+
+// String names the kind.
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosSinkCrash:
+		return "sink-crash"
+	case ChaosSinkRestore:
+		return "sink-restore"
+	}
+	return fmt.Sprintf("ChaosKind(%d)", int(k))
+}
+
+// ChaosEvent is one scheduled fault.
+type ChaosEvent struct {
+	// At is the processed-frame milestone (frames the sink goroutine has
+	// dequeued, delivered or not) at which the event fires.
+	At int
+	// Kind selects the fault.
+	Kind ChaosKind
+}
+
+// ChaosPlan is a deterministic schedule of transport faults. Events fire
+// in order; At milestones must be non-decreasing.
+type ChaosPlan struct {
+	Events []ChaosEvent
+}
+
+// item is one ingested message annotated with its enqueue instant, so
+// the sink goroutine can histogram queue-to-fold latency.
+type item struct {
+	msg packet.Message
+	at  int64 // UnixNano at enqueue
+}
+
+// counters are the server's obs bindings; every field is nil (no-op)
+// unless Config.Obs was set.
+type counters struct {
+	connsAccepted *obs.Counter
+	connsRefused  *obs.Counter
+	frames        *obs.Counter
+	bytes         *obs.Counter
+	udpDatagrams  *obs.Counter
+	udpBytes      *obs.Counter
+
+	badMagic   *obs.Counter
+	badVersion *obs.Counter
+	badType    *obs.Counter
+	tooBig     *obs.Counter
+	truncated  *obs.Counter
+	badPayload *obs.Counter
+
+	queueFullBlocks *obs.Counter
+	queueDropNewest *obs.Counter
+	queueDropOldest *obs.Counter
+
+	delivered       *obs.Counter
+	batches         *obs.Counter
+	batchOccupancy  *obs.Histogram
+	ingestLatencyUs *obs.Histogram
+
+	chaosCrashes     *obs.Counter
+	chaosRestores    *obs.Counter
+	droppedWhileDown *obs.Counter
+}
+
+// bind resolves every metric name. A nil registry yields no-op metrics.
+func (c *counters) bind(reg *obs.Registry) {
+	c.connsAccepted = reg.Counter("transport.conns_accepted")
+	c.connsRefused = reg.Counter("transport.conns_refused")
+	c.frames = reg.Counter("transport.frames")
+	c.bytes = reg.Counter("transport.bytes")
+	c.udpDatagrams = reg.Counter("transport.udp.datagrams")
+	c.udpBytes = reg.Counter("transport.udp.bytes")
+	c.badMagic = reg.Counter("transport.decode.bad_magic")
+	c.badVersion = reg.Counter("transport.decode.bad_version")
+	c.badType = reg.Counter("transport.decode.bad_type")
+	c.tooBig = reg.Counter("transport.decode.frame_too_big")
+	c.truncated = reg.Counter("transport.decode.truncated")
+	c.badPayload = reg.Counter("transport.decode.bad_payload")
+	c.queueFullBlocks = reg.Counter("transport.ingest.queue_full_blocks")
+	c.queueDropNewest = reg.Counter("transport.ingest.queue_drop_newest")
+	c.queueDropOldest = reg.Counter("transport.ingest.queue_drop_oldest")
+	c.delivered = reg.Counter("transport.delivered")
+	c.batches = reg.Counter("transport.ingest.batches")
+	c.batchOccupancy = reg.Histogram("transport.ingest.batch_occupancy")
+	c.ingestLatencyUs = reg.Histogram("transport.ingest.latency_us")
+	c.chaosCrashes = reg.Counter("transport.chaos.sink_crashes")
+	c.chaosRestores = reg.Counter("transport.chaos.sink_restores")
+	c.droppedWhileDown = reg.Counter("transport.chaos.dropped_while_down")
+}
+
+// countDecodeErr classifies a frame error into its rejection counter.
+func (c *counters) countDecodeErr(err error) {
+	switch {
+	case errors.Is(err, ErrBadMagic):
+		c.badMagic.Inc()
+	case errors.Is(err, ErrBadVersion):
+		c.badVersion.Inc()
+	case errors.Is(err, ErrBadType):
+		c.badType.Inc()
+	case errors.Is(err, ErrFrameTooBig):
+		c.tooBig.Inc()
+	case errors.Is(err, ErrBadPayload):
+		c.badPayload.Inc()
+	default:
+		c.truncated.Inc()
+	}
+}
+
+// Server is a running ingest frontend. Always Close it.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	udp    net.PacketConn
+	ingest chan item
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	c      counters
+
+	// connMu guards the live connection set, so Close can unblock
+	// readers, and the MaxConns bound.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// mu guards the sink state: the tracker (single-goroutine folds on
+	// the sink goroutine; verdict reads from anywhere synchronize here,
+	// the same discipline netsim.Network uses), the pipeline, the
+	// delivered count and the progress broadcast channel.
+	mu          sync.Mutex
+	tracker     *sink.Tracker
+	pipe        *sink.Pipeline
+	down        bool
+	ckpt        []byte
+	delivered   int
+	deliveredCh chan struct{}
+
+	closeOnce sync.Once
+}
+
+// Listen binds addr (TCP, required; ":0" picks a port) and udpAddr (UDP,
+// optional, "" disables) and starts the accept, read and sink goroutines.
+func Listen(addr, udpAddr string, cfg Config) (*Server, error) {
+	if cfg.NewVerifier == nil {
+		return nil, errors.New("transport: NewVerifier is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	cfg.Limits = cfg.Limits.withDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var udp net.PacketConn
+	if udpAddr != "" {
+		udp, err = net.ListenPacket("udp", udpAddr)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:         cfg,
+		ln:          ln,
+		udp:         udp,
+		ingest:      make(chan item, cfg.QueueDepth),
+		stop:        make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
+		tracker:     sink.NewTracker(cfg.NewVerifier(), cfg.Topo),
+		deliveredCh: make(chan struct{}),
+	}
+	s.c.bind(cfg.Obs)
+	if cfg.Obs != nil {
+		s.tracker.Instrument(cfg.Obs)
+	}
+	if cfg.Workers > 1 {
+		s.pipe = s.newPipeline(s.tracker)
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.sinkLoop()
+	if udp != nil {
+		s.wg.Add(1)
+		go s.udpLoop()
+	}
+	return s, nil
+}
+
+// newPipeline builds a verification pipeline folding into tracker, with
+// instrumented factory-owned verifier chains per worker.
+func (s *Server) newPipeline(tracker *sink.Tracker) *sink.Pipeline {
+	factory := func() sink.Verifier {
+		v := s.cfg.NewVerifier()
+		if s.cfg.Obs != nil {
+			if in, ok := v.(sink.Instrumentable); ok {
+				in.Instrument(s.cfg.Obs)
+			}
+		}
+		return v
+	}
+	p := sink.NewPipeline(s.cfg.Workers, factory, tracker)
+	if s.cfg.Obs != nil {
+		p.Instrument(s.cfg.Obs)
+	}
+	return p
+}
+
+// Addr returns the TCP listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// UDPAddr returns the UDP listen address, or nil when UDP is disabled.
+func (s *Server) UDPAddr() net.Addr {
+	if s.udp == nil {
+		return nil
+	}
+	return s.udp.LocalAddr()
+}
+
+// acceptLoop admits TCP connections up to MaxConns.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			// Transient accept failure; the listener may still recover.
+			continue
+		}
+		if !s.admit(conn) {
+			s.c.connsRefused.Inc()
+			conn.Close()
+			continue
+		}
+		s.c.connsAccepted.Inc()
+		s.wg.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+// admit registers conn unless the connection bound is reached or the
+// server is stopping.
+func (s *Server) admit(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.stop:
+		return false
+	default:
+	}
+	if len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// readLoop decodes one connection's frame stream into the ingest queue.
+// Recoverable (payload) errors are counted and the stream continues; a
+// framing error is counted and kills the connection — the byte stream
+// can no longer be trusted.
+func (s *Server) readLoop(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	fr := NewFrameReader(conn, s.cfg.Limits)
+	for {
+		msg, err := fr.Next()
+		if err != nil {
+			if err == io.EOF {
+				return
+			}
+			s.c.countDecodeErr(err)
+			if Recoverable(err) {
+				continue
+			}
+			return
+		}
+		s.c.frames.Inc()
+		s.c.bytes.Add(uint64(FrameHeaderLen + msg.WireSize()))
+		if !s.enqueue(msg) {
+			return // server stopping
+		}
+	}
+}
+
+// udpLoop decodes datagrams — one frame each — into the ingest queue.
+// Every rejection is per-datagram and counted.
+func (s *Server) udpLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, s.cfg.Limits.MaxFrameBytes+FrameHeaderLen)
+	for {
+		n, _, err := s.udp.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+				continue
+			}
+		}
+		s.c.udpDatagrams.Inc()
+		s.c.udpBytes.Add(uint64(n))
+		msg, err := DecodeDatagram(buf[:n], s.cfg.Limits)
+		if err != nil {
+			s.c.countDecodeErr(err)
+			continue
+		}
+		if !s.enqueue(msg) {
+			return
+		}
+	}
+}
+
+// enqueue applies the configured overflow policy to a full ingest queue.
+// It returns false only when the server is stopping.
+func (s *Server) enqueue(msg packet.Message) bool {
+	//pnmlint:allow wallclock ingest latency observability, never reaches verdicts
+	it := item{msg: msg, at: time.Now().UnixNano()}
+	select {
+	case s.ingest <- it:
+		return true
+	default:
+	}
+	switch s.cfg.Policy {
+	case queue.DropNewest:
+		s.c.queueDropNewest.Inc()
+		return true
+	case queue.DropOldest:
+		for {
+			select {
+			case <-s.ingest:
+				s.c.queueDropOldest.Inc()
+			default:
+				// The sink drained it first; either way there is room now —
+				// unless another reader raced in, then evict again.
+			}
+			select {
+			case s.ingest <- it:
+				return true
+			default:
+			}
+		}
+	default: // queue.Block
+		s.c.queueFullBlocks.Inc()
+		select {
+		case s.ingest <- it:
+			return true
+		case <-s.stop:
+			return false
+		}
+	}
+}
+
+// sinkLoop is the single goroutine that owns folding: it blocks for one
+// item, greedily drains whatever else has arrived (up to the queue
+// depth), and folds the batch — serially or across the pipeline. Chaos
+// events fire here, at processed-frame milestones, so crash/restore
+// serializes with folding by construction.
+func (s *Server) sinkLoop() {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		if s.pipe != nil {
+			s.pipe.Close()
+		}
+		s.mu.Unlock()
+	}()
+	processed := 0
+	chaos := 0
+	batch := make([]item, 0, s.cfg.QueueDepth)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case it := <-s.ingest:
+			batch = append(batch[:0], it)
+		drain:
+			for len(batch) < s.cfg.QueueDepth {
+				select {
+				case it = <-s.ingest:
+					batch = append(batch, it)
+				default:
+					break drain
+				}
+			}
+			processed += len(batch)
+			s.fold(batch)
+			for s.cfg.Chaos != nil && chaos < len(s.cfg.Chaos.Events) &&
+				processed >= s.cfg.Chaos.Events[chaos].At {
+				s.applyChaos(s.cfg.Chaos.Events[chaos])
+				chaos++
+			}
+		}
+	}
+}
+
+// fold verifies and folds one batch, or drops it while the sink is down.
+func (s *Server) fold(batch []item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		s.c.droppedWhileDown.Add(uint64(len(batch)))
+		return
+	}
+	if s.pipe != nil {
+		msgs := make([]packet.Message, len(batch))
+		for i := range batch {
+			msgs[i] = batch[i].msg
+		}
+		s.pipe.Observe(msgs)
+	} else {
+		for i := range batch {
+			s.tracker.Observe(batch[i].msg)
+		}
+	}
+	//pnmlint:allow wallclock ingest latency observability, never reaches verdicts
+	now := time.Now().UnixNano()
+	for i := range batch {
+		if d := now - batch[i].at; d > 0 {
+			s.c.ingestLatencyUs.Observe(uint64(d) / 1000)
+		} else {
+			s.c.ingestLatencyUs.Observe(0)
+		}
+	}
+	s.c.batches.Inc()
+	s.c.batchOccupancy.Observe(uint64(len(batch)))
+	s.c.delivered.Add(uint64(len(batch)))
+	s.delivered += len(batch)
+	close(s.deliveredCh)
+	s.deliveredCh = make(chan struct{})
+}
+
+// applyChaos executes one fault on the sink goroutine.
+func (s *Server) applyChaos(ev ChaosEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch ev.Kind {
+	case ChaosSinkCrash:
+		if s.down {
+			return
+		}
+		s.ckpt = s.tracker.Checkpoint()
+		if s.pipe != nil {
+			s.pipe.Close()
+			s.pipe = nil
+		}
+		s.down = true
+		s.c.chaosCrashes.Inc()
+	case ChaosSinkRestore:
+		if !s.down {
+			return
+		}
+		tr, err := sink.RestoreTracker(s.ckpt, s.cfg.NewVerifier(), s.cfg.Topo)
+		if err != nil {
+			// A checkpoint we wrote ourselves must restore; treat failure
+			// as an unrecoverable bug rather than silently continuing.
+			panic(fmt.Sprintf("transport: chaos restore: %v", err))
+		}
+		s.tracker = tr
+		if s.cfg.Obs != nil {
+			s.tracker.Instrument(s.cfg.Obs)
+		}
+		if s.cfg.Workers > 1 {
+			s.pipe = s.newPipeline(s.tracker)
+		}
+		s.down = false
+		s.c.chaosRestores.Inc()
+	}
+}
+
+// Delivered returns how many messages have been folded into the tracker.
+func (s *Server) Delivered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+
+// Verdict returns the sink's current traceback conclusion.
+func (s *Server) Verdict() sink.Verdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracker.Verdict()
+}
+
+// WaitDelivered blocks until at least want messages have been folded or
+// the timeout elapses, parking on the sink's progress broadcast.
+func (s *Server) WaitDelivered(want int, timeout time.Duration) error {
+	//pnmlint:allow wallclock real timeout while live goroutines deliver
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		got := s.delivered
+		ch := s.deliveredCh
+		s.mu.Unlock()
+		if got >= want {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return fmt.Errorf("transport: delivered %d of %d before timeout", s.Delivered(), want)
+		case <-s.stop:
+			return fmt.Errorf("transport: server closed after %d of %d deliveries", s.Delivered(), want)
+		}
+	}
+}
+
+// Close stops the listeners and every goroutine, then waits for them.
+// Safe to call more than once; the tracker remains readable.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.ln.Close()
+		if s.udp != nil {
+			s.udp.Close()
+		}
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+	})
+	s.wg.Wait()
+}
