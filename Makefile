@@ -22,9 +22,14 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: the determinism/ownership invariants
-# (wallclock, globalrand, maporder, ownership — see internal/lint) plus a
-# gofmt check. Fails on any diagnostic or unformatted file.
+# Project-specific static analysis: the determinism, ownership, locking
+# and allocation invariants (wallclock, globalrand, maporder, ownership,
+# guardedby, golife, noalloc — see internal/lint) plus a gofmt check.
+# pnmlint runs `go build -gcflags=-m` itself to feed the noalloc analyzer
+# real escape-analysis facts; the build cache replays those diagnostics,
+# so warm runs skip the compile. Fails on any diagnostic or unformatted
+# file; `go run ./cmd/pnmlint -json ./...` emits the same findings
+# machine-readably.
 lint:
 	$(GO) run ./cmd/pnmlint ./...
 	@unformatted=$$(gofmt -l .); \

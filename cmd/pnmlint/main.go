@@ -1,30 +1,49 @@
-// Command pnmlint runs the project's determinism and ownership analyzers
-// (internal/lint) over the repository:
+// Command pnmlint runs the project's determinism, ownership, locking and
+// allocation analyzers (internal/lint) over the repository:
 //
-//	pnmlint [dir | dir/...]...
+//	pnmlint [flags] [dir | dir/...]...
 //
 // With no arguments it lints ./... from the current directory. Each
-// finding is printed as file:line:col: analyzer: message; the exit status
-// is 1 when there are findings, 2 on load or usage errors, 0 when clean.
+// finding is printed as file:line:col: analyzer: message (or as a JSON
+// array with -json); the exit status is 1 when there are findings, 2 on
+// load or usage errors, 0 when clean.
 //
 // The suite enforces the invariants behind byte-identical experiment
-// output: no wall-clock reads in deterministic packages (wallclock), no
-// global math/rand use (globalrand), no map-iteration order reaching
-// emitted bytes (maporder), and no goroutine-crossing method calls on
-// // pnmlint:single-goroutine types (ownership). Intentional exceptions
-// carry //pnmlint:allow <analyzer> <reason> annotations in the source.
+// output and the concurrent sink's safety: no wall-clock reads in
+// deterministic packages (wallclock), no global math/rand use
+// (globalrand), no map-iteration order reaching emitted bytes (maporder),
+// no goroutine-crossing method calls on // pnmlint:single-goroutine types
+// (ownership), no access to // pnmlint:guarded-by fields without their
+// mutex (guardedby), no untracked goroutines in the deterministic and
+// transport packages (golife), and no heap allocation inside
+// // pnmlint:noalloc functions, checked against real `go build
+// -gcflags=-m` escape analysis (noalloc). Intentional exceptions carry
+// //pnmlint:allow <analyzer> <reason> annotations in the source.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"pnm/internal/lint"
 )
 
+// jsonDiag is the machine-readable rendering of one finding, consumed by
+// the CI problem matcher tooling and editor integrations.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pnmlint [flags] [dir | dir/...]...\n")
 		flag.PrintDefaults()
@@ -47,9 +66,48 @@ func main() {
 		}
 		return
 	}
+	// The noalloc analyzer checks annotations against the compiler's own
+	// escape analysis; a program that does not build cannot be linted.
+	escapes, err := lint.LoadEscapes(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pnmlint:", err)
+		os.Exit(2)
+	}
+	lint.AttachEscapes(analyzers, escapes)
+
 	diags := lint.Run(prog, analyzers...)
-	for _, d := range diags {
-		fmt.Println(d)
+	cwd, _ := os.Getwd()
+	rel := func(path string) string {
+		if cwd == "" {
+			return path
+		}
+		if r, err := filepath.Rel(cwd, path); err == nil && !filepath.IsAbs(r) {
+			return r
+		}
+		return path
+	}
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     rel(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "pnmlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = rel(d.Pos.Filename)
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

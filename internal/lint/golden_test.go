@@ -101,17 +101,51 @@ func TestOwnershipFixture(t *testing.T) {
 	runFixture(t, "ownership", func(*Program) Analyzer { return &Ownership{} })
 }
 
+func TestGuardedByFixture(t *testing.T) {
+	runFixture(t, "guardedby", func(*Program) Analyzer { return &GuardedBy{} })
+}
+
+func TestGoLifeFixture(t *testing.T) {
+	runFixture(t, "golife", func(prog *Program) Analyzer {
+		return &GoLife{Paths: []string{prog.Pkgs[0].Path}}
+	})
+}
+
+// TestNoAllocFixture feeds the analyzer real escape-analysis output from
+// the toolchain, so the fixture also pins the LoadEscapes parse: the want
+// lines are exactly where `go build -gcflags=-m` reports each escape.
+func TestNoAllocFixture(t *testing.T) {
+	escapes, err := LoadEscapes(".", "testdata/noalloc")
+	if err != nil {
+		t.Fatalf("LoadEscapes: %v", err)
+	}
+	if len(escapes) == 0 {
+		t.Fatal("LoadEscapes found no escapes in the noalloc fixture")
+	}
+	runFixture(t, "noalloc", func(*Program) Analyzer {
+		return &NoAlloc{Escapes: escapes}
+	})
+}
+
 // TestFixturesFailUnderDefaultSuite asserts what `make lint` relies on:
 // pointing the CLI's default analyzer suite at any fixture yields
 // file:line diagnostics (nonzero exit), including the wallclock fixture,
 // whose import path opts into the deterministic set.
 func TestFixturesFailUnderDefaultSuite(t *testing.T) {
-	for _, fixture := range []string{"wallclock", "globalrand", "maporder", "ownership"} {
+	for _, fixture := range []string{"wallclock", "globalrand", "maporder", "ownership", "guardedby", "golife", "noalloc"} {
 		prog, err := Load(".", filepath.Join("testdata", fixture))
 		if err != nil {
 			t.Fatalf("load %s: %v", fixture, err)
 		}
-		diags := Run(prog, DefaultAnalyzers(prog.ModulePath)...)
+		analyzers := DefaultAnalyzers(prog.ModulePath)
+		if fixture == "noalloc" {
+			escapes, err := LoadEscapes(".", "testdata/noalloc")
+			if err != nil {
+				t.Fatalf("LoadEscapes: %v", err)
+			}
+			AttachEscapes(analyzers, escapes)
+		}
+		diags := Run(prog, analyzers...)
 		if len(diags) == 0 {
 			t.Errorf("fixture %s: default suite found no diagnostics", fixture)
 		}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLife requires every goroutine spawned in the covered packages to have
+// a tracked lifecycle, so no naked goroutine can outlive Close(): the
+// spawned body — a function literal, or the resolved declaration of a
+// named function or method — must either report completion on a
+// sync.WaitGroup (a Done call, normally deferred), or signal a done
+// channel (a channel send or a close). A goroutine that deliberately
+// outlives its spawner carries //pnmlint:allow golife <reason> on the go
+// statement.
+//
+// The check is structural, not a proof: it verifies the body contains a
+// completion signal, not that every caller pairs it with Add or waits on
+// the channel. That is the cheap half of the invariant — the expensive
+// half (Close actually joins) is pinned by the -race tests — and it is
+// exactly the half that catches the common regression: a fire-and-forget
+// `go func() { ... }()` added to a server loop.
+type GoLife struct {
+	// Paths are the import paths held to the tracked-lifecycle rule.
+	Paths []string
+}
+
+// Name implements Analyzer.
+func (*GoLife) Name() string { return "golife" }
+
+// Doc implements Analyzer.
+func (*GoLife) Doc() string {
+	return "every go statement pairs with WaitGroup Done or a done-channel signal (send/close)"
+}
+
+// Run implements Analyzer.
+func (g *GoLife) Run(prog *Program) []Diagnostic {
+	covered := make(map[string]bool, len(g.Paths))
+	for _, p := range g.Paths {
+		covered[p] = true
+	}
+	var decls map[types.Object]declSite
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !covered[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if decls == nil {
+					decls = funcDecls(prog)
+				}
+				if g.tracked(prog, pkg, gs.Call, decls) {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:      prog.Fset.Position(gs.Pos()),
+					Analyzer: g.Name(),
+					Message: "go statement spawns an untracked goroutine (pair it with a " +
+						"sync.WaitGroup Done, signal a done channel with a send or close, " +
+						"or annotate //pnmlint:allow golife <reason>)",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// declSite is one function declaration plus the package whose type info
+// resolves its body.
+type declSite struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// funcDecls indexes every function and method declaration in the analyzed
+// program by its types object, so a `go s.readLoop(conn)` statement can
+// be checked against readLoop's actual body.
+func funcDecls(prog *Program) map[types.Object]declSite {
+	idx := make(map[types.Object]declSite)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+						idx[obj] = declSite{decl: fd, pkg: pkg}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// tracked reports whether the spawned call's body contains a completion
+// signal. A callee outside the analyzed program cannot be inspected and
+// is reported (annotate the spawn if it is intentional).
+func (g *GoLife) tracked(prog *Program, pkg *Package, call *ast.CallExpr, decls map[types.Object]declSite) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodySignals(pkg, lit.Body)
+	}
+	callee := calleeObject(pkg.Info, call.Fun)
+	if callee == nil {
+		return false
+	}
+	site, ok := decls[callee]
+	if !ok {
+		return false
+	}
+	return bodySignals(site.pkg, site.decl.Body)
+}
+
+// calleeObject resolves the spawned expression to its function object,
+// mapping instantiated generic methods back to their declaration.
+func calleeObject(info *types.Info, fun ast.Expr) types.Object {
+	var fn *types.Func
+	switch x := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[x].(*types.Func)
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok {
+			fn, _ = s.Obj().(*types.Func)
+		} else {
+			fn, _ = info.Uses[x.Sel].(*types.Func)
+		}
+	case *ast.IndexExpr: // explicit instantiation: go f[T](...)
+		return calleeObject(info, x.X)
+	}
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// bodySignals reports whether a goroutine body (including nested and
+// deferred literals, which is where the signal usually lives) contains a
+// channel send, a close, or a sync.WaitGroup Done call.
+func bodySignals(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "close" {
+					found = true
+					return false
+				}
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					if tn := receiverTypeName(s.Recv()); tn != nil &&
+						tn.Pkg() != nil && tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup" {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,526 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// GuardedBy enforces mutex discipline on annotated struct fields: a field
+// whose declaration carries `// pnmlint:guarded-by <mutexField>` (in the
+// field's doc comment or trailing line comment) may only be read or
+// written while the named sibling mutex of the same instance is held.
+//
+// The analyzer tracks lock state flow-sensitively through each function
+// body: `mu.Lock()` acquires, `mu.Unlock()` releases, `defer mu.Unlock()`
+// holds for the lexical remainder, and `RLock`/`RUnlock` count the same
+// way (the read/write distinction is not modeled). Branches merge by
+// intersection — an access after an `if` that unlocked on one
+// fall-through arm is flagged — and paths that end in return/panic do not
+// constrain the join, so the early-unlock-and-return shape stays clean.
+// Lock identity is the receiver chain (root object plus field path), so
+// locking a.mu never satisfies an access to b's guarded field.
+//
+// Function literals are analyzed with an empty lock set: a closure — and
+// in particular a `go func() {...}` body — runs at a time when the
+// spawn-site locks cannot be assumed. That is exactly the data race this
+// analyzer exists to catch on transport.Server, the first component whose
+// state is shared between goroutines by locking rather than by the
+// single-goroutine ownership rule.
+//
+// Known approximations, shared with every lexical guarded-by checker:
+// locks taken by a caller on behalf of a helper, conditionally-held
+// locks, and mutexes reached through non-field expressions are not
+// modeled — annotate such accesses with
+// `//pnmlint:allow guardedby <reason>`. Constructor-time initialization
+// before the value is published is the sanctioned use of that escape;
+// better still, build the value fully before storing it into the struct,
+// which needs no annotation at all.
+type GuardedBy struct{}
+
+// guardedRx matches the guarded-by annotation and captures the mutex
+// field name.
+var guardedRx = regexp.MustCompile(`^//\s*pnmlint:guarded-by\s+([A-Za-z_]\w*)`)
+
+// guardInfo describes one annotated field.
+type guardInfo struct {
+	owner string // declaring struct type name
+	field string // field name
+	mutex string // sibling mutex field name
+}
+
+// Name implements Analyzer.
+func (*GuardedBy) Name() string { return "guardedby" }
+
+// Doc implements Analyzer.
+func (*GuardedBy) Doc() string {
+	return "fields marked // pnmlint:guarded-by <mu> are only touched while that mutex is held"
+}
+
+// Run implements Analyzer.
+func (g *GuardedBy) Run(prog *Program) []Diagnostic {
+	guarded, diags := guardedFields(prog)
+	if len(guarded) == 0 {
+		return diags
+	}
+	for _, pkg := range prog.Pkgs {
+		c := &gbChecker{prog: prog, pkg: pkg, guarded: guarded}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					c.stmts(fd.Body.List, lockSet{})
+				}
+			}
+		}
+		diags = append(diags, c.out...)
+	}
+	return diags
+}
+
+// guardedFields collects every annotated field across the analyzed
+// packages, keyed by its *types.Var. Annotations naming a sibling that is
+// missing or not a sync.Mutex/sync.RWMutex are themselves diagnosed —
+// a typo must not silently drop the field from the rule.
+func guardedFields(prog *Program) (map[*types.Var]guardInfo, []Diagnostic) {
+	guarded := make(map[*types.Var]guardInfo)
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					mutex, ok := guardAnnotation(field)
+					if !ok {
+						continue
+					}
+					if !hasMutexSibling(pkg, st, mutex) {
+						diags = append(diags, Diagnostic{
+							Pos:      prog.Fset.Position(field.Pos()),
+							Analyzer: "guardedby",
+							Message: fmt.Sprintf("pnmlint:guarded-by names %q, which is not a sync.Mutex or "+
+								"sync.RWMutex field of %s", mutex, ts.Name.Name),
+						})
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							guarded[v] = guardInfo{owner: ts.Name.Name, field: name.Name, mutex: mutex}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return guarded, diags
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment.
+func guardAnnotation(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardedRx.FindStringSubmatch(c.Text); m != nil {
+				return m[1], true
+			}
+		}
+	}
+	return "", false
+}
+
+// hasMutexSibling reports whether the struct declares a field named mutex
+// whose type is sync.Mutex or sync.RWMutex.
+func hasMutexSibling(pkg *Package, st *ast.StructType, mutex string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != mutex {
+				continue
+			}
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok && isSyncMutex(v.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSyncMutex reports whether t (or what it points to) is sync.Mutex or
+// sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockSet is the set of held mutexes, keyed by canonical receiver path
+// (root object identity plus field names), e.g. "0xc0001.mu".
+type lockSet map[string]bool
+
+// clone copies the set.
+func (l lockSet) clone() lockSet {
+	c := make(lockSet, len(l))
+	for k := range l {
+		c[k] = true
+	}
+	return c
+}
+
+// intersect removes every key not also present in other.
+func (l lockSet) intersect(other lockSet) {
+	for k := range l {
+		if !other[k] {
+			delete(l, k)
+		}
+	}
+}
+
+// gbChecker walks one package's functions tracking lock state.
+type gbChecker struct {
+	prog    *Program
+	pkg     *Package
+	guarded map[*types.Var]guardInfo
+	out     []Diagnostic
+}
+
+// stmts walks a statement list, mutating held as locks are taken and
+// released, and reports whether the list terminates abruptly (return,
+// panic, or branch on every continuing path).
+func (c *gbChecker) stmts(list []ast.Stmt, held lockSet) bool {
+	terminated := false
+	for _, s := range list {
+		if c.stmt(s, held) {
+			terminated = true
+		}
+	}
+	return terminated
+}
+
+// stmt handles one statement. It returns true when control cannot flow
+// past the statement.
+func (c *gbChecker) stmt(s ast.Stmt, held lockSet) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if c.lockOp(call, held, false) {
+				return false
+			}
+			if isPanicCall(c.pkg.Info, call) {
+				c.expr(call, held)
+				return true
+			}
+		}
+		c.expr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock is the hold-until-return idiom: the mutex stays
+		// held for the lexical remainder, so the state is left untouched.
+		// Any other deferred call runs at return time with unknowable lock
+		// state; expr analyzes deferred literals with an empty set.
+		if !c.lockOp(s.Call, held, true) {
+			c.expr(s.Call, held)
+		}
+	case *ast.GoStmt:
+		// Arguments are evaluated at spawn time under the current locks;
+		// the spawned literal's body is analyzed with an empty set by expr.
+		c.expr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, held)
+	case *ast.SendStmt:
+		c.expr(s.Chan, held)
+		c.expr(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return c.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		c.stmt(s.Init, held)
+		c.expr(s.Cond, held)
+		thenHeld := held.clone()
+		thenTerm := c.stmts(s.Body.List, thenHeld)
+		elseHeld := held.clone()
+		elseTerm := false
+		hasElse := s.Else != nil
+		if hasElse {
+			elseTerm = c.stmt(s.Else, elseHeld)
+		}
+		mergeInto(held, []branchExit{{thenHeld, thenTerm}, {elseHeld, elseTerm}})
+		return thenTerm && hasElse && elseTerm
+	case *ast.ForStmt:
+		c.stmt(s.Init, held)
+		c.expr(s.Cond, held)
+		body := held.clone()
+		c.stmts(s.Body.List, body)
+		c.stmt(s.Post, body)
+		// The loop may run zero times, so only locks held both on entry
+		// and at the end of an iteration survive.
+		held.intersect(body)
+	case *ast.RangeStmt:
+		c.expr(s.X, held)
+		body := held.clone()
+		c.stmts(s.Body.List, body)
+		held.intersect(body)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init, held)
+		c.expr(s.Tag, held)
+		return c.caseBodies(s.Body, held, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init, held)
+		c.stmt(s.Assign, held)
+		return c.caseBodies(s.Body, held, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		// A select always takes exactly one of its cases.
+		return c.caseBodies(s.Body, held, true)
+	}
+	return false
+}
+
+// hasDefaultClause reports whether a switch body contains a default case.
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// branchExit is one arm's lock state at its end plus whether the arm
+// terminates abruptly.
+type branchExit struct {
+	held lockSet
+	term bool
+}
+
+// mergeInto replaces held with the intersection of the non-terminating
+// arms' exit states. When every arm terminates, held is left at the entry
+// state — whatever follows is unreachable anyway.
+func mergeInto(held lockSet, exits []branchExit) {
+	var merged lockSet
+	for _, e := range exits {
+		if e.term {
+			continue
+		}
+		if merged == nil {
+			merged = e.held
+		} else {
+			merged.intersect(e.held)
+		}
+	}
+	if merged == nil {
+		return
+	}
+	for k := range held {
+		if !merged[k] {
+			delete(held, k)
+		}
+	}
+	for k := range merged {
+		held[k] = true
+	}
+}
+
+// caseBodies walks a switch/select body clause by clause. exhaustive
+// marks bodies where one clause always runs (select, or switch with a
+// default): only then can the statement as a whole terminate, and only
+// then does the entry state drop out of the join.
+func (c *gbChecker) caseBodies(body *ast.BlockStmt, held lockSet, exhaustive bool) bool {
+	var exits []branchExit
+	for _, clause := range body.List {
+		arm := held.clone()
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.expr(e, arm)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			c.stmt(cl.Comm, arm)
+			stmts = cl.Body
+		}
+		exits = append(exits, branchExit{arm, c.stmts(stmts, arm)})
+	}
+	if !exhaustive {
+		exits = append(exits, branchExit{held.clone(), false})
+	}
+	allTerm := len(exits) > 0
+	for _, e := range exits {
+		if !e.term {
+			allTerm = false
+		}
+	}
+	mergeInto(held, exits)
+	return allTerm
+}
+
+// lockOp recognizes Lock/RLock/Unlock/RUnlock calls on sync mutexes and
+// updates held. Deferred unlocks keep the mutex held (the hold-to-return
+// idiom); deferred locks are nonsense and ignored. It reports whether the
+// call was a mutex operation.
+func (c *gbChecker) lockOp(call *ast.CallExpr, held lockSet, deferred bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := c.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal || !isSyncMutex(s.Recv()) {
+		return false
+	}
+	key := pathKey(c.pkg.Info, sel.X)
+	if key == "" {
+		return true // a mutex we cannot name still isn't a field access
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if !deferred {
+			held[key] = true
+		}
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(held, key)
+		}
+	case "TryLock", "TryRLock":
+		// Conditional acquisition: never treated as held.
+	default:
+		return false
+	}
+	return true
+}
+
+// expr checks every guarded-field access inside an expression against the
+// current lock state. Function literals are analyzed separately with an
+// empty set — they run at an unknowable time — and struct-literal keys
+// are construction, not access.
+func (c *gbChecker) expr(e ast.Expr, held lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			c.stmts(x.Body.List, lockSet{})
+			return false
+		case *ast.KeyValueExpr:
+			if id, ok := x.Key.(*ast.Ident); ok {
+				if v, ok := c.pkg.Info.Uses[id].(*types.Var); ok && v.IsField() {
+					c.expr(x.Value, held)
+					return false
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			c.checkAccess(x, held)
+			return true
+		}
+		return true
+	})
+}
+
+// checkAccess reports a diagnostic when sel resolves to a guarded field
+// whose instance's mutex is not held.
+func (c *gbChecker) checkAccess(sel *ast.SelectorExpr, held lockSet) {
+	s, ok := c.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	g, ok := c.guarded[v]
+	if !ok {
+		return
+	}
+	base := pathKey(c.pkg.Info, sel.X)
+	if base != "" && held[base+"."+g.mutex] {
+		return
+	}
+	c.out = append(c.out, Diagnostic{
+		Pos:      c.prog.Fset.Position(sel.Sel.Pos()),
+		Analyzer: "guardedby",
+		Message: fmt.Sprintf("field %s.%s is guarded by %s, which is not held on every path to this "+
+			"access (lock %s.%s first, or annotate //pnmlint:allow guardedby <reason>)",
+			g.owner, g.field, g.mutex, types.ExprString(ast.Unparen(sel.X)), g.mutex),
+	})
+}
+
+// pathKey renders an identifier-rooted selector chain as a stable lock
+// identity: the root object's identity plus the field names walked. It
+// returns "" for receivers it cannot name (call results, index
+// expressions, dereferences of computed pointers) — those cannot be
+// proven locked.
+func pathKey(info *types.Info, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			return ""
+		}
+		return fmt.Sprintf("%p", obj)
+	case *ast.SelectorExpr:
+		base := pathKey(info, x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return pathKey(info, x.X)
+	}
+	return ""
+}
+
+// isPanicCall reports whether call invokes the builtin panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

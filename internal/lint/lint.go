@@ -12,7 +12,19 @@
 //     (returned row slices, CSV/table writes, fmt.Fprint*);
 //   - ownership:  types marked `// pnmlint:single-goroutine` must not
 //     have methods invoked from go statements or goroutine-launched
-//     function literals.
+//     function literals;
+//   - guardedby:  struct fields marked `// pnmlint:guarded-by <mu>` are
+//     only read or written while that sibling mutex is held on every
+//     path — the locking complement to ownership, for the components
+//     (transport.Server) whose state is shared between goroutines;
+//   - golife:     every go statement in the deterministic and transport
+//     packages has a tracked lifecycle (WaitGroup Done, or a done
+//     channel send/close), so no naked goroutine outlives Close();
+//   - noalloc:    functions marked `// pnmlint:noalloc` contain no
+//     compiler escape-analysis findings, checked against real
+//     `go build -gcflags=-m` output loaded by LoadEscapes — the
+//     zero-alloc MAC and verify kernels as a static gate instead of a
+//     benchmark-only fact.
 //
 // Intentional exceptions are annotated in the source with
 //
@@ -188,19 +200,25 @@ var DeterministicPackages = []string{
 }
 
 // DefaultAnalyzers returns the standard pnm analyzer suite for a module.
+// The NoAlloc analyzer starts without escape data — callers that ran
+// LoadEscapes hand it over via AttachEscapes.
 func DefaultAnalyzers(modulePath string) []Analyzer {
 	paths := make([]string, 0, len(DeterministicPackages)+1)
 	for _, rel := range DeterministicPackages {
 		paths = append(paths, modulePath+"/"+rel)
 	}
-	// The wallclock fixture opts itself in so the CLI demonstrates the
-	// rule when pointed at testdata.
-	paths = append(paths, modulePath+"/internal/lint/testdata/wallclock")
+	// The wallclock and golife fixtures opt themselves in so the CLI
+	// demonstrates the path-scoped rules when pointed at testdata.
+	wcPaths := append(append([]string(nil), paths...), modulePath+"/internal/lint/testdata/wallclock")
+	glPaths := append(append([]string(nil), paths...), modulePath+"/internal/lint/testdata/golife")
 	return []Analyzer{
-		&Wallclock{Paths: paths},
+		&Wallclock{Paths: wcPaths},
 		&GlobalRand{},
 		&MapOrder{},
 		&Ownership{},
+		&GuardedBy{},
+		&GoLife{Paths: glPaths},
+		&NoAlloc{},
 	}
 }
 

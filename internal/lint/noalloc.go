@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// NoAlloc turns the repository's zero-allocation guarantees — pinned so
+// far only by testing.AllocsPerRun benchmarks — into a static CI gate:
+// a function whose doc comment carries `// pnmlint:noalloc` must contain
+// no compiler escape-analysis finding ("escapes to heap" / "moved to
+// heap") inside its body. The facts come from the real compiler via
+// LoadEscapes (`go build -gcflags=-m`), cross-referenced against the
+// annotated declarations' line ranges, so the gate can never drift from
+// what gc actually decides.
+//
+// The check is per-body: a callee that allocates (NewSchedule on a
+// Hasher cache miss, say) is that callee's business — annotate it too if
+// it must stay clean. Allocation via append growth is invisible to -m
+// and stays the AllocsPerRun tests' job; explicit make/new/composite
+// literals, closures and moved-to-heap locals are all caught. One
+// intentional allocation inside an annotated function carries
+// //pnmlint:allow noalloc <reason> on the offending line.
+type NoAlloc struct {
+	// Escapes are the compiler findings to check against, typically from
+	// LoadEscapes. With no escape data the analyzer reports nothing.
+	Escapes []Escape
+}
+
+// Escape is one compiler escape-analysis finding.
+type Escape struct {
+	Pos     token.Position
+	Message string
+}
+
+// noallocRx matches the annotation in a function's doc comment.
+var noallocRx = regexp.MustCompile(`^//\s*pnmlint:noalloc\b`)
+
+// Name implements Analyzer.
+func (*NoAlloc) Name() string { return "noalloc" }
+
+// Doc implements Analyzer.
+func (*NoAlloc) Doc() string {
+	return "no compiler escape-analysis findings inside // pnmlint:noalloc functions"
+}
+
+// Run implements Analyzer.
+func (na *NoAlloc) Run(prog *Program) []Diagnostic {
+	if len(na.Escapes) == 0 {
+		return nil
+	}
+	type span struct {
+		name       string
+		start, end int
+	}
+	ranges := make(map[string][]span) // filename -> annotated body line ranges
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasNoallocMarker(fd.Doc) {
+					continue
+				}
+				start := prog.Fset.Position(fd.Pos())
+				end := prog.Fset.Position(fd.End())
+				ranges[start.Filename] = append(ranges[start.Filename], span{
+					name:  funcDisplayName(fd),
+					start: start.Line,
+					end:   end.Line,
+				})
+			}
+		}
+	}
+	// The build cache replays compiler diagnostics verbatim, with paths
+	// relative to the cwd of whichever build first compiled the package —
+	// not necessarily LoadEscapes's baseDir. Exact filename match first;
+	// for still-relative paths, fall back to a component-aligned suffix
+	// match against the analyzed files. The returned canonical filename
+	// (the program's own, absolute) goes into the diagnostic so allow
+	// annotations and owners resolve.
+	match := func(fname string) (string, []span) {
+		if sps, ok := ranges[fname]; ok {
+			return fname, sps
+		}
+		if !filepath.IsAbs(fname) {
+			suffix := string(filepath.Separator) + fname
+			for k, sps := range ranges {
+				if strings.HasSuffix(k, suffix) {
+					return k, sps
+				}
+			}
+		}
+		return fname, nil
+	}
+	var out []Diagnostic
+	for _, esc := range na.Escapes {
+		canonical, spans := match(esc.Pos.Filename)
+		for _, sp := range spans {
+			if esc.Pos.Line < sp.start || esc.Pos.Line > sp.end {
+				continue
+			}
+			pos := esc.Pos
+			pos.Filename = canonical
+			out = append(out, Diagnostic{
+				Pos:      pos,
+				Analyzer: na.Name(),
+				Message: fmt.Sprintf("heap allocation in // pnmlint:noalloc function %s: %s "+
+					"(keep the hot path allocation-free, or annotate //pnmlint:allow noalloc <reason>)",
+					sp.name, esc.Message),
+			})
+		}
+	}
+	return out
+}
+
+// hasNoallocMarker reports whether a doc comment carries the annotation.
+func hasNoallocMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if noallocRx.MatchString(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplayName renders a declaration as Recv.Name or Name.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		if id, ok := ix.X.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+// noallocFuncs collects the annotated functions across the program, keyed
+// "importpath.Recv.Name" — the repo self-check pins the mac/marking/sink
+// hot-path set against it.
+func noallocFuncs(prog *Program) map[string]token.Position {
+	out := make(map[string]token.Position)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && hasNoallocMarker(fd.Doc) {
+					out[pkg.Path+"."+funcDisplayName(fd)] = prog.Fset.Position(fd.Pos())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AttachEscapes hands compiler escape data to the NoAlloc analyzer in a
+// suite built by DefaultAnalyzers.
+func AttachEscapes(analyzers []Analyzer, escapes []Escape) {
+	for _, a := range analyzers {
+		if na, ok := a.(*NoAlloc); ok {
+			na.Escapes = escapes
+		}
+	}
+}
+
+// fileExists reports whether path names an existing regular file.
+func fileExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.Mode().IsRegular()
+}
+
+// escapeLineRx parses one compiler diagnostic line.
+var escapeLineRx = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// LoadEscapes runs the compiler's escape analysis (`go build -gcflags=-m`)
+// over the packages matched by the patterns, relative to baseDir, and
+// returns the heap findings ("escapes to heap" and "moved to heap" lines)
+// with absolute positions. Since Go 1.24 the build cache replays compiler
+// diagnostics, so warm runs cost no compilation — which is what lets CI
+// cache this step.
+func LoadEscapes(baseDir string, patterns ...string) ([]Escape, error) {
+	abs, err := filepath.Abs(baseDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"build", "-gcflags=-m"}
+	// go build writes a binary into the working directory when handed a
+	// single main package; aim every executable at a throwaway dir.
+	tmp, err := os.MkdirTemp("", "pnmlint-escapes-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	args = append(args, "-o", tmp)
+	for _, p := range patterns {
+		if !filepath.IsAbs(p) && !strings.HasPrefix(p, "./") && !strings.HasPrefix(p, "../") && p != "..." {
+			p = "./" + p
+		}
+		args = append(args, p)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = abs
+	outBytes, err := cmd.CombinedOutput()
+	if err != nil && strings.Contains(string(outBytes), "no main packages to build") {
+		// -o with a directory requires at least one main package. With none
+		// matched, a plain build writes nothing anyway — drop the flag.
+		noO := append(append([]string(nil), args[:2]...), args[4:]...)
+		cmd = exec.Command("go", noO...)
+		cmd.Dir = abs
+		args = noO
+		outBytes, err = cmd.CombinedOutput()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, outBytes)
+	}
+	var escapes []Escape
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		m := escapeLineRx.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			// Cached diagnostic replays keep the original build's relative
+			// paths; only absolutize when that resolves to a real file, and
+			// otherwise leave the path for the analyzer's suffix match.
+			if joined := filepath.Join(abs, file); fileExists(joined) {
+				file = joined
+			}
+		}
+		l, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		escapes = append(escapes, Escape{
+			Pos:     token.Position{Filename: file, Line: l, Column: col},
+			Message: msg,
+		})
+	}
+	return escapes, nil
+}

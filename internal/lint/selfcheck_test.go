@@ -6,11 +6,13 @@ import (
 )
 
 // TestRepoLintsClean runs the full default analyzer suite over the whole
-// repository — exactly what `make lint` does — and requires zero
-// diagnostics. This is the invariant the suite exists for: the repo's own
-// deterministic packages stay free of wall-clock reads, global rand,
-// order-leaking map iteration and goroutine-crossing tracker use, with
-// every intentional exception carrying an allow annotation.
+// repository — exactly what `make lint` does, compiler escape data
+// included — and requires zero diagnostics. This is the invariant the
+// suite exists for: the repo's own deterministic packages stay free of
+// wall-clock reads, global rand, order-leaking map iteration,
+// goroutine-crossing tracker use, unlocked guarded-field access, naked
+// goroutines and hot-path heap allocation, with every intentional
+// exception carrying an allow annotation.
 func TestRepoLintsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -25,7 +27,16 @@ func TestRepoLintsClean(t *testing.T) {
 	if len(prog.Pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; the ./... walk is dropping packages", len(prog.Pkgs))
 	}
-	for _, d := range Run(prog, DefaultAnalyzers(prog.ModulePath)...) {
+	escapes, err := LoadEscapes("../..", "./...")
+	if err != nil {
+		t.Fatalf("LoadEscapes: %v", err)
+	}
+	if len(escapes) == 0 {
+		t.Fatal("LoadEscapes found no escapes module-wide; the -gcflags=-m parse is broken")
+	}
+	analyzers := DefaultAnalyzers(prog.ModulePath)
+	AttachEscapes(analyzers, escapes)
+	for _, d := range Run(prog, analyzers...) {
 		t.Errorf("repo not lint-clean: %s", d)
 	}
 }
@@ -76,6 +87,67 @@ func TestSingleGoroutineMarkersPresent(t *testing.T) {
 			}
 			t.Errorf("%s lacks the // pnmlint:single-goroutine marker (marked: %s)",
 				want, strings.Join(have, ", "))
+		}
+	}
+}
+
+// TestServerGuardedFieldsPresent pins transport.Server's lock discipline
+// as machine-readable annotations: the sink state under mu, the
+// connection set under connMu. Removing an annotation (or renaming a
+// field out from under it) fails here before a race can regress quietly.
+func TestServerGuardedFieldsPresent(t *testing.T) {
+	prog, err := Load("../..", "./internal/transport")
+	if err != nil {
+		t.Fatalf("load transport: %v", err)
+	}
+	guarded, diags := guardedFields(prog)
+	for _, d := range diags {
+		t.Errorf("bad guarded-by annotation: %s", d)
+	}
+	byName := make(map[string]string, len(guarded))
+	for v, g := range guarded {
+		byName[g.owner+"."+v.Name()] = g.mutex
+	}
+	for field, mutex := range map[string]string{
+		"Server.tracker":     "mu",
+		"Server.pipe":        "mu",
+		"Server.down":        "mu",
+		"Server.ckpt":        "mu",
+		"Server.delivered":   "mu",
+		"Server.deliveredCh": "mu",
+		"Server.conns":       "connMu",
+	} {
+		if got := byName[field]; got != mutex {
+			t.Errorf("%s: guarded-by %q, want %q (annotation missing or moved)", field, got, mutex)
+		}
+	}
+}
+
+// TestNoallocHotPathsAnnotated pins the zero-alloc kernel set: the MAC
+// schedule, the marking encode paths and the sink verify kernels all
+// carry // pnmlint:noalloc, so the escape-analysis gate actually covers
+// the functions the AllocsPerRun benchmarks measure.
+func TestNoallocHotPathsAnnotated(t *testing.T) {
+	prog, err := Load("../..", "./internal/mac", "./internal/marking", "./internal/sink")
+	if err != nil {
+		t.Fatalf("load packages: %v", err)
+	}
+	funcs := noallocFuncs(prog)
+	for _, want := range []string{
+		"pnm/internal/mac.Schedule.Sum",
+		"pnm/internal/mac.Schedule.AnonID",
+		"pnm/internal/mac.Schedule.finish",
+		"pnm/internal/mac.Hasher.Schedule",
+		"pnm/internal/mac.Hasher.Sum",
+		"pnm/internal/mac.Hasher.AnonID",
+		"pnm/internal/marking.NestedMACPlainSched",
+		"pnm/internal/marking.NestedMACAnonSched",
+		"pnm/internal/marking.AMSMACSched",
+		"pnm/internal/sink.NestedVerifier.verifyMark",
+		"pnm/internal/sink.NestedVerifier.resolveProbe",
+	} {
+		if _, ok := funcs[want]; !ok {
+			t.Errorf("%s lacks the // pnmlint:noalloc annotation", want)
 		}
 	}
 }

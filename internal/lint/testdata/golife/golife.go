@@ -1,0 +1,73 @@
+// Package fixture exercises the golife analyzer: every go statement must
+// spawn a body with a tracked lifecycle — a sync.WaitGroup Done, or a
+// done-channel signal (send or close) — or carry an allow annotation.
+package fixture
+
+import "sync"
+
+// work is a goroutine body with no lifecycle signal of its own.
+func work() {}
+
+// tracked is a goroutine body that reports completion on a WaitGroup.
+func tracked(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// WaitGroupLiteral pairs the literal with Add/Done.
+func WaitGroupLiteral() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// WaitGroupCallee spawns a named function whose resolved body calls
+// Done — the `go s.readLoop(conn)` shape.
+func WaitGroupCallee() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go tracked(&wg)
+	wg.Wait()
+}
+
+// DoneChannel signals completion by closing a done channel.
+func DoneChannel() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// SendChannel signals completion by delivering the result.
+func SendChannel() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 1
+	}()
+	return out
+}
+
+// NakedCallee leaks a fire-and-forget goroutine through a named body
+// with no signal.
+func NakedCallee() {
+	go work() // want "untracked goroutine"
+}
+
+// NakedLiteral leaks an untracked literal.
+func NakedLiteral() {
+	go func() { // want "untracked goroutine"
+		work()
+	}()
+}
+
+// Allowed documents an intentional fire-and-forget goroutine.
+func Allowed() {
+	//pnmlint:allow golife fixture demonstrates the intentional-leak escape hatch
+	go work()
+}

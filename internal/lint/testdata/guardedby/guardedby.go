@@ -1,0 +1,141 @@
+// Package fixture exercises the guardedby analyzer: fields annotated
+// // pnmlint:guarded-by <mu> may only be touched while that sibling
+// mutex of the same instance is held on every path.
+package fixture
+
+import "sync"
+
+// counterbox holds state guarded by sibling mutexes. The n field carries
+// the annotation in its doc comment, m in its trailing line comment —
+// both placements are accepted.
+type counterbox struct {
+	mu sync.Mutex
+	// pnmlint:guarded-by mu
+	n int
+
+	rw sync.RWMutex
+	m  int // pnmlint:guarded-by rw
+}
+
+// LockedDefer holds mu for the whole method via the defer idiom.
+func (c *counterbox) LockedDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// LockedPair brackets the access with an explicit Lock/Unlock pair.
+func (c *counterbox) LockedPair() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// RLocked reads under the read lock; RLock counts as holding.
+func (c *counterbox) RLocked() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.m
+}
+
+// Unlocked touches the field with no lock at all.
+func (c *counterbox) Unlocked() {
+	c.n++ // want "guarded by mu"
+}
+
+// BranchReturn unlocks on the early-return branch only. The access after
+// the join is fine — the surviving path still holds mu — but once the
+// fall-through path unlocks too, the final read races.
+func (c *counterbox) BranchReturn(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return 0
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n // want "guarded by mu"
+}
+
+// BranchHalfLocked locks on only one arm of the branch, so the merged
+// state after the join cannot assume the lock.
+func (c *counterbox) BranchHalfLocked(cond bool) {
+	if cond {
+		c.mu.Lock()
+	}
+	c.n++ // want "guarded by mu"
+	if cond {
+		c.mu.Unlock()
+	}
+}
+
+// WrongInstance locks one instance and touches another: lock identity is
+// per-instance, not per-type.
+func WrongInstance(a, b *counterbox) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	b.n++ // want "guarded by mu"
+}
+
+// GoUnlocked spawns a goroutine that touches the field: the spawn-site
+// lock says nothing about when the body runs.
+func (c *counterbox) GoUnlocked(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.n++ // want "guarded by mu"
+	}()
+}
+
+// GoRelocked is the correct goroutine shape: the body takes the lock
+// itself.
+func (c *counterbox) GoRelocked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+// LoopLocked takes the lock inside the loop body before the access.
+func (c *counterbox) LoopLocked(k int) {
+	for i := 0; i < k; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// SelectLocked holds the lock across a select whose cases both touch the
+// field.
+func (c *counterbox) SelectLocked(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-ch:
+		c.n += v
+	default:
+		c.n++
+	}
+}
+
+// NewCounterbox initializes the field before the value is published: the
+// sanctioned constructor-time use of the allow escape.
+func NewCounterbox() *counterbox {
+	c := &counterbox{n: 1}
+	c.n++ //pnmlint:allow guardedby constructor-time init before the value is published
+	return c
+}
+
+// badbox names a guard that is not a mutex sibling; the annotation itself
+// is diagnosed so a typo cannot silently drop the field from the rule.
+type badbox struct {
+	// pnmlint:guarded-by lock
+	x int // want "not a sync.Mutex"
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the noalloc analyzer against real compiler
+// escape-analysis output: functions annotated // pnmlint:noalloc must
+// contain no "escapes to heap" / "moved to heap" findings. The want
+// comments sit on the lines where `go build -gcflags=-m` reports the
+// escape, which is the declaration or allocation site, not the return.
+package fixture
+
+// Sum stays on the stack: plain arithmetic over a borrowed slice.
+// pnmlint:noalloc
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Escapes returns the address of a local, forcing it to the heap.
+// pnmlint:noalloc
+func Escapes() *int {
+	t := 3 // want "moved to heap"
+	return &t
+}
+
+// MakesSlice heap-allocates a slice of runtime-determined length.
+// pnmlint:noalloc
+func MakesSlice(n int) []byte {
+	buf := make([]byte, n) // want "escapes to heap"
+	return buf
+}
+
+// Boxes allocates freely: unannotated functions are out of scope.
+func Boxes() *int {
+	v := 9
+	return &v
+}
+
+// AllowedEscape deliberately boxes its result, with the allocation
+// documented in place via the allow escape hatch.
+// pnmlint:noalloc
+func AllowedEscape() *int {
+	v := 7 //pnmlint:allow noalloc deliberate boxing, documented for the fixture
+	return &v
+}

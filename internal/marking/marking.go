@@ -79,6 +79,7 @@ func AMSMAC(key mac.Key, report packet.Report, id packet.NodeID) [packet.MACLen]
 // above, which remain the one-shot node-side path.
 
 // NestedMACPlainSched is NestedMACPlain on node id's cached schedule.
+// pnmlint:noalloc
 func NestedMACPlainSched(s *mac.Schedule, buf []byte, msg packet.Message, k int, id packet.NodeID) ([packet.MACLen]byte, []byte) {
 	buf = msg.EncodePrefix(buf[:0], k)
 	ib := idBytes(id)
@@ -87,6 +88,7 @@ func NestedMACPlainSched(s *mac.Schedule, buf []byte, msg packet.Message, k int,
 }
 
 // NestedMACAnonSched is NestedMACAnon on the marker's cached schedule.
+// pnmlint:noalloc
 func NestedMACAnonSched(s *mac.Schedule, buf []byte, msg packet.Message, k int, anon [packet.AnonIDLen]byte) ([packet.MACLen]byte, []byte) {
 	buf = msg.EncodePrefix(buf[:0], k)
 	buf = append(buf, anon[:]...)
@@ -94,6 +96,7 @@ func NestedMACAnonSched(s *mac.Schedule, buf []byte, msg packet.Message, k int, 
 }
 
 // AMSMACSched is AMSMAC on node id's cached schedule.
+// pnmlint:noalloc
 func AMSMACSched(s *mac.Schedule, buf []byte, report packet.Report, id packet.NodeID) ([packet.MACLen]byte, []byte) {
 	buf = report.Encode(buf[:0])
 	ib := idBytes(id)

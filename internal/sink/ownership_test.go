@@ -126,3 +126,37 @@ func TestSingleGoroutineAnnotations(t *testing.T) {
 		}
 	}
 }
+
+// TestNoallocAnnotations asserts the zero-alloc side of the contract is
+// machine-readable too: the per-mark verify kernels carry the
+// `// pnmlint:noalloc` marker, which is what lets cmd/pnmlint check them
+// against the compiler's escape analysis instead of relying solely on the
+// AllocsPerRun test above surviving refactors.
+func TestNoallocAnnotations(t *testing.T) {
+	want := map[string]string{
+		"verifyMark":   "verify.go",
+		"resolveProbe": "verify.go",
+	}
+	fset := token.NewFileSet()
+	for funcName, file := range want {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		annotated := false
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != funcName || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.Contains(c.Text, "pnmlint:noalloc") {
+					annotated = true
+				}
+			}
+		}
+		if !annotated {
+			t.Errorf("%s: func %s lacks the // pnmlint:noalloc annotation", file, funcName)
+		}
+	}
+}

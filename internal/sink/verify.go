@@ -81,6 +81,18 @@ type NestedVerifier struct {
 	hasher *mac.Hasher
 	encBuf []byte
 
+	// resolveFn is v.resolveProbe bound once (lazily, in Verify) so
+	// anonymous-mark resolution passes the same callback value to the
+	// resolver on every probe instead of allocating a closure per mark.
+	// The rs* scratch fields carry the per-mark probe state the closure
+	// used to capture.
+	resolveFn func(packet.NodeID) bool
+	rsMsg     packet.Message
+	rsK       int
+	rsFound   packet.NodeID
+	rsOK      bool
+	rsProbes  uint64
+
 	// obs bindings; nil (no-op) unless Instrument was called.
 	packets       *obs.Counter
 	marksVerified *obs.Counter
@@ -119,6 +131,11 @@ func (v *NestedVerifier) Instrument(reg *obs.Registry) {
 // Verify implements Verifier.
 func (v *NestedVerifier) Verify(msg packet.Message) Result {
 	v.packets.Inc()
+	if v.resolver != nil && v.resolveFn == nil {
+		// One-time method-value allocation, kept out of the noalloc
+		// kernels below.
+		v.resolveFn = v.resolveProbe
+	}
 	var chain []packet.NodeID
 	prev := packet.SinkID
 	havePrev := false
@@ -136,27 +153,21 @@ func (v *NestedVerifier) Verify(msg packet.Message) Result {
 }
 
 // verifyMark checks the mark at position k and returns the marker's real ID.
+// It recomputes one HMAC per plaintext mark and one per anonymous-resolution
+// probe, so it runs once per mark per received packet — the sink's hottest
+// path.
+// pnmlint:noalloc
 func (v *NestedVerifier) verifyMark(msg packet.Message, k int, prev packet.NodeID, havePrev bool) (packet.NodeID, bool) {
 	mk := msg.Marks[k]
 	if mk.Anonymous {
 		if v.resolver == nil {
 			return 0, false // anonymous mark under a plaintext scheme: invalid
 		}
-		var found packet.NodeID
-		ok := false
-		probes := uint64(0)
-		v.resolver.Resolve(msg.Report, mk.AnonID, prev, havePrev, func(id packet.NodeID) bool {
-			probes++
-			var want [packet.MACLen]byte
-			want, v.encBuf = marking.NestedMACAnonSched(v.schedule(id), v.encBuf, msg, k, mk.AnonID)
-			if mac.Equal(mk.MAC, want) {
-				found, ok = id, true
-				return true
-			}
-			return false
-		})
-		v.probesPerMark.Observe(probes)
-		return found, ok
+		v.rsMsg, v.rsK = msg, k
+		v.rsFound, v.rsOK, v.rsProbes = 0, false, 0
+		v.resolver.Resolve(msg.Report, mk.AnonID, prev, havePrev, v.resolveFn)
+		v.probesPerMark.Observe(v.rsProbes)
+		return v.rsFound, v.rsOK
 	}
 	if mk.ID == packet.SinkID || int(mk.ID) > v.numNodes {
 		return 0, false
@@ -167,6 +178,23 @@ func (v *NestedVerifier) verifyMark(msg packet.Message, k int, prev packet.NodeI
 		return 0, false
 	}
 	return mk.ID, true
+}
+
+// resolveProbe is the resolver callback for anonymous marks: it recomputes
+// the candidate's MAC over the scratch state verifyMark stashed in the rs*
+// fields. It is a bound method rather than a per-mark closure so probing
+// stays allocation-free.
+// pnmlint:noalloc
+func (v *NestedVerifier) resolveProbe(id packet.NodeID) bool {
+	v.rsProbes++
+	mk := v.rsMsg.Marks[v.rsK]
+	var want [packet.MACLen]byte
+	want, v.encBuf = marking.NestedMACAnonSched(v.schedule(id), v.encBuf, v.rsMsg, v.rsK, mk.AnonID)
+	if mac.Equal(mk.MAC, want) {
+		v.rsFound, v.rsOK = id, true
+		return true
+	}
+	return false
 }
 
 // AMSVerifier verifies extended-AMS marks: each mark's MAC covers only the

@@ -188,19 +188,19 @@ type Server struct {
 	// connMu guards the live connection set, so Close can unblock
 	// readers, and the MaxConns bound.
 	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]struct{} // pnmlint:guarded-by connMu
 
 	// mu guards the sink state: the tracker (single-goroutine folds on
 	// the sink goroutine; verdict reads from anywhere synchronize here,
 	// the same discipline netsim.Network uses), the pipeline, the
 	// delivered count and the progress broadcast channel.
 	mu          sync.Mutex
-	tracker     *sink.Tracker
-	pipe        *sink.Pipeline
-	down        bool
-	ckpt        []byte
-	delivered   int
-	deliveredCh chan struct{}
+	tracker     *sink.Tracker  // pnmlint:guarded-by mu
+	pipe        *sink.Pipeline // pnmlint:guarded-by mu
+	down        bool           // pnmlint:guarded-by mu
+	ckpt        []byte         // pnmlint:guarded-by mu
+	delivered   int            // pnmlint:guarded-by mu
+	deliveredCh chan struct{}  // pnmlint:guarded-by mu
 
 	closeOnce sync.Once
 }
@@ -230,6 +230,17 @@ func Listen(addr, udpAddr string, cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	// Build the guarded sink state before the Server value exists: once
+	// the &Server{} literal publishes it to the goroutines below, every
+	// touch of tracker/pipe must hold mu.
+	tracker := sink.NewTracker(cfg.NewVerifier(), cfg.Topo)
+	if cfg.Obs != nil {
+		tracker.Instrument(cfg.Obs)
+	}
+	var pipe *sink.Pipeline
+	if cfg.Workers > 1 {
+		pipe = newPipeline(cfg, tracker)
+	}
 	s := &Server{
 		cfg:         cfg,
 		ln:          ln,
@@ -237,16 +248,11 @@ func Listen(addr, udpAddr string, cfg Config) (*Server, error) {
 		ingest:      make(chan item, cfg.QueueDepth),
 		stop:        make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
-		tracker:     sink.NewTracker(cfg.NewVerifier(), cfg.Topo),
+		tracker:     tracker,
+		pipe:        pipe,
 		deliveredCh: make(chan struct{}),
 	}
 	s.c.bind(cfg.Obs)
-	if cfg.Obs != nil {
-		s.tracker.Instrument(cfg.Obs)
-	}
-	if cfg.Workers > 1 {
-		s.pipe = s.newPipeline(s.tracker)
-	}
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.sinkLoop()
@@ -258,20 +264,22 @@ func Listen(addr, udpAddr string, cfg Config) (*Server, error) {
 }
 
 // newPipeline builds a verification pipeline folding into tracker, with
-// instrumented factory-owned verifier chains per worker.
-func (s *Server) newPipeline(tracker *sink.Tracker) *sink.Pipeline {
+// instrumented factory-owned verifier chains per worker. It is a free
+// function so Listen can build the pipeline before the Server value —
+// and its lock discipline — exists.
+func newPipeline(cfg Config, tracker *sink.Tracker) *sink.Pipeline {
 	factory := func() sink.Verifier {
-		v := s.cfg.NewVerifier()
-		if s.cfg.Obs != nil {
+		v := cfg.NewVerifier()
+		if cfg.Obs != nil {
 			if in, ok := v.(sink.Instrumentable); ok {
-				in.Instrument(s.cfg.Obs)
+				in.Instrument(cfg.Obs)
 			}
 		}
 		return v
 	}
-	p := sink.NewPipeline(s.cfg.Workers, factory, tracker)
-	if s.cfg.Obs != nil {
-		p.Instrument(s.cfg.Obs)
+	p := sink.NewPipeline(cfg.Workers, factory, tracker)
+	if cfg.Obs != nil {
+		p.Instrument(cfg.Obs)
 	}
 	return p
 }
@@ -540,7 +548,7 @@ func (s *Server) applyChaos(ev ChaosEvent) {
 			s.tracker.Instrument(s.cfg.Obs)
 		}
 		if s.cfg.Workers > 1 {
-			s.pipe = s.newPipeline(s.tracker)
+			s.pipe = newPipeline(s.cfg, s.tracker)
 		}
 		s.down = false
 		s.c.chaosRestores.Inc()
