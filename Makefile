@@ -6,7 +6,7 @@ GO ?= go
 # GOMAXPROCS. Results are byte-identical for every value.
 WORKERS ?= 0
 
-.PHONY: all build test race vet lint bench bench-resolver bench-sink bench-fault fuzz-smoke soak ci figures examples clean
+.PHONY: all build test race vet lint bench bench-resolver bench-sink bench-fault bench-shard fuzz-smoke soak ci figures examples clean
 
 all: build test
 
@@ -58,6 +58,14 @@ bench-sink:
 # baseline is enforced at generation time.
 bench-fault:
 	$(GO) run ./cmd/pnmsim -exp benchfault > BENCH_fault.json
+
+# Regenerate the committed sharded-sink baseline: cluster widths 1/2/8
+# versus the serial sink over keyed-source streams (10k → 1M distinct
+# reports) plus a single-shard crash/restore scenario. Verdict hashes and
+# verdict-visible counters are deterministic and checked against the
+# unsharded baseline at generation time; timings vary with the machine.
+bench-shard:
+	$(GO) run ./cmd/pnmsim -exp benchshard > BENCH_shard.json
 
 # Short coverage-guided fuzzing over the trust boundary: the hardened
 # packet decoder and the frame reader that feeds it untrusted socket

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardBenchSmall runs a scaled-down sweep end to end: the generator
+// enforces verdict-hash and counter equality between the serial baseline
+// and every cluster width, so a clean return is the determinism check.
+func TestShardBenchSmall(t *testing.T) {
+	cfg := ShardBenchConfig{
+		Nodes:       96,
+		Hosts:       8,
+		SourceSweep: []int{300, 900},
+		Shards:      []int{1, 2, 8},
+		BatchLen:    64,
+		Seed:        11,
+		Scenario:    ShardScenarioConfig{Sources: 600, Shards: 4, Victim: 1},
+	}
+	res, err := ShardBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// serial + one row per shard width, per sweep point.
+	if want := len(cfg.SourceSweep) * (1 + len(cfg.Shards)); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if row.Packets != row.Sources {
+			t.Fatalf("row %s/%d@%d folded %d packets", row.Mode, row.Shards, row.Sources, row.Packets)
+		}
+		if row.NsPerPacket <= 0 {
+			t.Fatalf("row %s/%d@%d has no timing", row.Mode, row.Shards, row.Sources)
+		}
+	}
+	// Distinct sweep points fold distinct streams: their hashes differ.
+	if res.Rows[0].VerdictHash == res.Rows[1+len(cfg.Shards)].VerdictHash {
+		t.Fatal("sweep points share a verdict hash — stream not keyed by source count")
+	}
+
+	sc := res.Scenario
+	if !sc.RestoreRoundTrip {
+		t.Fatal("scenario restore round trip not verified")
+	}
+	if sc.DroppedWhileDown == 0 || sc.PacketsFolded+sc.DroppedWhileDown != cfg.Scenario.Sources {
+		t.Fatalf("scenario ledger off: folded %d + dropped %d != %d",
+			sc.PacketsFolded, sc.DroppedWhileDown, cfg.Scenario.Sources)
+	}
+
+	out, err := RenderShardBench(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"mode": "serial"`, `"mode": "cluster"`, `"restore_round_trip": true`} {
+		if !strings.Contains(out, key) {
+			t.Fatalf("rendered document missing %s:\n%s", key, out)
+		}
+	}
+}

@@ -79,6 +79,7 @@ func TestSingleGoroutineMarkersPresent(t *testing.T) {
 		"pnm/internal/sink.Tracker",
 		"pnm/internal/sink.ExhaustiveResolver",
 		"pnm/internal/sink.TopologyResolver",
+		"pnm/internal/sink.Cluster",
 	} {
 		if !names[want] {
 			var have []string
@@ -111,11 +112,39 @@ func TestServerGuardedFieldsPresent(t *testing.T) {
 	for field, mutex := range map[string]string{
 		"Server.tracker":     "mu",
 		"Server.pipe":        "mu",
+		"Server.cluster":     "mu",
+		"Server.shardCkpts":  "mu",
 		"Server.down":        "mu",
 		"Server.ckpt":        "mu",
 		"Server.delivered":   "mu",
 		"Server.deliveredCh": "mu",
 		"Server.conns":       "connMu",
+	} {
+		if got := byName[field]; got != mutex {
+			t.Errorf("%s: guarded-by %q, want %q (annotation missing or moved)", field, got, mutex)
+		}
+	}
+}
+
+// TestNetworkGuardedFieldsPresent pins the live simulator's sharded-sink
+// lock discipline: the cluster and its per-shard crash blobs travel
+// together under mu.
+func TestNetworkGuardedFieldsPresent(t *testing.T) {
+	prog, err := Load("../..", "./internal/netsim")
+	if err != nil {
+		t.Fatalf("load netsim: %v", err)
+	}
+	guarded, diags := guardedFields(prog)
+	for _, d := range diags {
+		t.Errorf("bad guarded-by annotation: %s", d)
+	}
+	byName := make(map[string]string, len(guarded))
+	for v, g := range guarded {
+		byName[g.owner+"."+v.Name()] = g.mutex
+	}
+	for field, mutex := range map[string]string{
+		"Network.cluster":    "mu",
+		"Network.shardCkpts": "mu",
 	} {
 		if got := byName[field]; got != mutex {
 			t.Errorf("%s: guarded-by %q, want %q (annotation missing or moved)", field, got, mutex)

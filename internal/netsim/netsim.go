@@ -79,6 +79,14 @@ type Config struct {
 	// serially; verdicts and delivered counts are byte-identical either
 	// way. <= 1 keeps the serial sink loop.
 	SinkWorkers int
+	// SinkShards > 1 folds delivered packets through a sink.Cluster of
+	// that many shards instead: packets partition by source identity, each
+	// shard owns its own tracker, resolver cache and verifier chain, and
+	// verdicts merge across shards deterministically — byte-identical to
+	// the serial sink. SinkShards supersedes SinkWorkers (the shards are
+	// the parallelism). Checkpoints become per-shard PNM2 blobs, which is
+	// what the FaultShardCrash/FaultShardRestore events operate on.
+	SinkShards int
 	// Faults, when non-nil, hands the plan to a scheduler goroutine that
 	// applies each event as its progress milestone is crossed. For exactly
 	// reproducible experiments, apply events with ApplyFault at quiescent
@@ -151,12 +159,17 @@ type Network struct {
 	sinkDone    chan struct{}
 	sinkCkpt    []byte
 
-	mu        sync.Mutex
-	tracker   *sink.Tracker
-	pipe      *sink.Pipeline
-	delivered int
-	injected  int
-	dropped   int
+	mu      sync.Mutex
+	tracker *sink.Tracker
+	pipe    *sink.Pipeline
+	cluster *sink.Cluster // pnmlint:guarded-by mu
+	// shardCkpts holds the per-shard PNM2 blobs of crashed shards (and of
+	// the whole cluster while the sink is down); it travels with cluster
+	// under mu even though only the fault path writes it.
+	shardCkpts [][]byte // pnmlint:guarded-by mu
+	delivered  int
+	injected   int
+	dropped    int
 	// deliveredCh is closed and replaced under mu on every delivery or
 	// accounted drop, so WaitDelivered/WaitSettled and the fault scheduler
 	// can block instead of polling.
@@ -229,7 +242,6 @@ func Start(cfg Config) (*Network, error) {
 		inbox:       make(map[packet.NodeID]chan transmission, cfg.Topo.NumNodes()),
 		sinkCh:      make(chan transmission, cfg.QueueLen),
 		stop:        make(chan struct{}),
-		tracker:     sink.NewTracker(verifier, cfg.Topo),
 		injectRng:   rand.New(rand.NewSource(cfg.Seed ^ injectSeedSalt)),
 		deliveredCh: make(chan struct{}),
 		routes:      cfg.Topo,
@@ -238,6 +250,9 @@ func Start(cfg Config) (*Network, error) {
 		nodeDone:    make(map[packet.NodeID]chan struct{}),
 		incarnation: make(map[packet.NodeID]int64),
 		linksDown:   make(map[packet.NodeID][][2]packet.NodeID),
+	}
+	if cfg.SinkShards <= 1 {
+		n.tracker = sink.NewTracker(verifier, cfg.Topo)
 	}
 	// The serial construction above already validated the verifier chain,
 	// so the factory's error path is unreachable from here on.
@@ -257,9 +272,20 @@ func Start(cfg Config) (*Network, error) {
 		n.obsBlacklistRefused = cfg.Obs.Counter("netsim.blacklist_refused")
 		n.obsNodeDropped = cfg.Obs.Counter("netsim.node_dropped")
 		n.obsFault.bind(cfg.Obs)
-		n.tracker.Instrument(cfg.Obs)
+		if n.tracker != nil {
+			n.tracker.Instrument(cfg.Obs)
+		}
 	}
-	if cfg.SinkWorkers > 1 {
+	switch {
+	case cfg.SinkShards > 1:
+		// The shard trackers instrument themselves inside their worker
+		// goroutines; verifier-level metrics come from the factory. No
+		// goroutine is live yet, but the assignment takes mu to keep the
+		// cluster field's lock discipline unconditional.
+		n.mu.Lock()
+		n.cluster = sink.NewCluster(cfg.SinkShards, n.newVerifier, cfg.Topo, cfg.Obs)
+		n.mu.Unlock()
+	case cfg.SinkWorkers > 1:
 		n.pipe = sink.NewPipeline(cfg.SinkWorkers, n.newVerifier, n.tracker)
 		if cfg.Obs != nil {
 			n.pipe.Instrument(cfg.Obs)
@@ -353,6 +379,10 @@ func (n *Network) runNode(id packet.NodeID, stack *node.Node, inc int64, kill, d
 func (n *Network) runSink(kill, done chan struct{}) {
 	defer n.wg.Done()
 	defer close(done)
+	if n.cfg.SinkShards > 1 {
+		n.runSinkSharded(kill)
+		return
+	}
 	if n.pipe != nil {
 		n.runSinkPipelined(kill)
 		return
@@ -423,6 +453,68 @@ func (n *Network) runSinkPipelined(kill chan struct{}) {
 			n.pipe.Observe(batch)
 			n.delivered += len(batch)
 			n.obsDelivered.Add(uint64(len(batch)))
+			n.broadcastLocked()
+			n.mu.Unlock()
+		}
+	}
+}
+
+// runSinkSharded is the sink loop with SinkShards > 1: batches drain off
+// the sink channel exactly like the pipelined loop, then partition across
+// the cluster's shards. A packet routed to a crashed shard terminates as
+// an accounted drop (netsim.fault.shard_dropped), so settledness stays
+// sound through per-shard outages. On network stop the merged state is
+// sealed into a read-only tracker so Verdict outlives the shard workers;
+// on sink kill the crash path owns the cluster's shutdown.
+func (n *Network) runSinkSharded(kill chan struct{}) {
+	batch := make([]packet.Message, 0, n.cfg.QueueLen)
+	for {
+		select {
+		case <-n.stop:
+			n.mu.Lock()
+			if n.cluster != nil {
+				n.tracker = n.cluster.Seal()
+				n.cluster.Close()
+				n.cluster = nil
+			}
+			n.mu.Unlock()
+			return
+		case <-kill:
+			return // crashSinkLocked checkpoints and releases the cluster
+		case tx := <-n.sinkCh:
+			batch = batch[:0]
+			// The sink also refuses traffic handed over by a quarantined
+			// neighbor; refusals never reach the shards.
+			if n.cfg.Blacklisted == nil || !n.cfg.Blacklisted(tx.from) {
+				batch = append(batch, tx.msg)
+			} else {
+				n.noteDrop(n.obsBlacklistRefused)
+			}
+		drain:
+			for len(batch) < n.cfg.QueueLen {
+				select {
+				case tx = <-n.sinkCh:
+					if n.cfg.Blacklisted == nil || !n.cfg.Blacklisted(tx.from) {
+						batch = append(batch, tx.msg)
+					} else {
+						n.noteDrop(n.obsBlacklistRefused)
+					}
+				default:
+					break drain
+				}
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			n.mu.Lock()
+			_, shardDropped := n.cluster.Observe(batch)
+			delivered := len(batch) - shardDropped
+			n.delivered += delivered
+			n.obsDelivered.Add(uint64(delivered))
+			if shardDropped > 0 {
+				n.dropped += shardDropped
+				n.obsFault.shardDropped.Add(uint64(shardDropped))
+			}
 			n.broadcastLocked()
 			n.mu.Unlock()
 		}
@@ -617,13 +709,21 @@ func (n *Network) Dropped() int {
 func (n *Network) TrackerPackets() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.cluster != nil {
+		return n.cluster.Packets()
+	}
 	return n.tracker.Packets()
 }
 
-// Verdict returns the sink's current traceback conclusion.
+// Verdict returns the sink's current traceback conclusion. In sharded
+// mode this merges the per-shard order matrices — byte-identical to the
+// serial sink's verdict over the same delivered stream.
 func (n *Network) Verdict() sink.Verdict {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.cluster != nil {
+		return n.cluster.Verdict()
+	}
 	return n.tracker.Verdict()
 }
 

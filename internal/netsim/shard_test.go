@@ -1,0 +1,153 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"pnm/internal/mac"
+	"pnm/internal/marking"
+	"pnm/internal/mole"
+	"pnm/internal/obs"
+	"pnm/internal/packet"
+)
+
+// TestShardedSinkMatchesSerial runs the same injected traffic through a
+// serial sink and SinkShards∈{2,8} clusters: every configuration must
+// deliver every packet, localize the same source at the same stop, and
+// agree on the verdict-visible obs counters — the cluster's determinism
+// contract holding through the live simulator.
+func TestShardedSinkMatchesSerial(t *testing.T) {
+	const n = 11
+	p := 3 / float64(n-1)
+	scheme := marking.PNM{P: p}
+
+	run := func(shards int) (int, obsnapshot, string) {
+		reg := obs.New()
+		net, _, keys := startChain(t, n, Config{Scheme: scheme, Seed: 9, SinkShards: shards, Obs: reg})
+		src := &mole.Source{ID: n, Base: packet.Report{Event: 0xE4}, Behavior: mole.MarkNever}
+		env := &mole.Env{Scheme: scheme, StolenKeys: map[packet.NodeID]mac.Key{n: keys.Key(n)}}
+		rng := rand.New(rand.NewSource(10))
+		const packets = 300
+		for i := 0; i < packets; i++ {
+			if err := net.Inject(n, src.Next(env, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := net.WaitDelivered(packets, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		v := net.Verdict()
+		if !v.Identified || v.Stop != n-1 || !v.SuspectsContain(n) {
+			t.Fatalf("shards=%d: verdict = %+v, want identified with Stop V%d and source suspect", shards, v, n-1)
+		}
+		if got := net.TrackerPackets(); got != packets {
+			t.Fatalf("shards=%d: tracker packets = %d, want %d", shards, got, packets)
+		}
+		snap := obsnapshot{
+			verified: reg.Counter("sink.verify.marks_verified").Value(),
+			stops:    reg.Counter("sink.verify.stops").Value(),
+			folded:   reg.Counter("sink.tracker.chains_folded").Value(),
+		}
+		return net.Delivered(), snap, fmt.Sprintf("%+v", v)
+	}
+
+	serialDelivered, serialObs, serialVerdict := run(1)
+	for _, shards := range []int{2, 8} {
+		delivered, snap, verdict := run(shards)
+		if delivered != serialDelivered {
+			t.Fatalf("delivered: serial %d, shards=%d %d", serialDelivered, shards, delivered)
+		}
+		if snap != serialObs {
+			t.Fatalf("verdict-visible counters: serial %+v, shards=%d %+v", serialObs, shards, snap)
+		}
+		if verdict != serialVerdict {
+			t.Fatalf("verdict: serial %s, shards=%d %s", serialVerdict, shards, verdict)
+		}
+	}
+}
+
+// TestShardCrashRestoreInLiveNetwork crashes one shard of a live sharded
+// sink, keeps injecting (the victim shard's partition terminates as
+// accounted drops, everything else folds), restores the shard from its
+// own PNM2 blob and asserts no pre-crash evidence was lost and the
+// network still localizes the mole.
+func TestShardCrashRestoreInLiveNetwork(t *testing.T) {
+	const n = 11
+	const shards = 4
+	scheme := marking.PNM{P: 3 / float64(n-1)}
+	reg := obs.New()
+	net, _, keys := startChain(t, n, Config{Scheme: scheme, Seed: 45, SinkShards: shards, Obs: reg})
+	src := &mole.Source{ID: n, Base: packet.Report{Event: 0xAB}, Behavior: mole.MarkNever}
+	env := &mole.Env{Scheme: scheme, StolenKeys: map[packet.NodeID]mac.Key{n: keys.Key(n)}}
+	rng := rand.New(rand.NewSource(46))
+
+	inject := func(count int) {
+		t.Helper()
+		for i := 0; i < count; i++ {
+			if err := net.Inject(n, src.Next(env, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := net.WaitSettled(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	inject(150)
+	if got := net.TrackerPackets(); got != 150 {
+		t.Fatalf("tracker packets = %d, want 150", got)
+	}
+
+	// The mole varies Event per packet (duplicate-suppression evasion), so
+	// its stream spreads across every shard; any victim sees a share.
+	const victim = 0
+	net.ApplyFault(FaultEvent{Kind: FaultShardCrash, Shard: victim})
+	if got := reg.Counter("netsim.fault.shard_crashes").Value(); got != 1 {
+		t.Fatalf("shard_crashes = %d, want 1", got)
+	}
+
+	// Traffic while the shard is down still reaches the sink: the victim's
+	// partition terminates as accounted shard drops, the rest folds, and
+	// the sink itself never counts as down.
+	inject(40)
+	shardDropped := reg.Counter("netsim.fault.shard_dropped").Value()
+	if shardDropped == 0 || shardDropped >= 40 {
+		t.Fatalf("shard_dropped = %d, want strictly between 0 and 40", shardDropped)
+	}
+	if got := reg.Counter("netsim.fault.dropped_to_down").Value(); got != 0 {
+		t.Fatalf("dropped_to_down = %d, want 0 (sink must stay up)", got)
+	}
+	// The crashed shard's at-crash evidence still counts in the merge,
+	// alongside everything the live shards folded during the outage.
+	wantPackets := 150 + 40 - int(shardDropped)
+	if got := net.TrackerPackets(); got != wantPackets {
+		t.Fatalf("down-shard tracker packets = %d, want %d", got, wantPackets)
+	}
+	downVerdict := net.Verdict()
+
+	net.ApplyFault(FaultEvent{Kind: FaultShardRestore, Shard: victim})
+	if got := reg.Counter("netsim.fault.shard_restores").Value(); got != 1 {
+		t.Fatalf("shard_restores = %d, want 1", got)
+	}
+	// Restore loses nothing: the blob carries the shard's order matrix and
+	// packet count, so the merged view is unchanged.
+	if got := net.TrackerPackets(); got != wantPackets {
+		t.Fatalf("restored tracker packets = %d, want %d", got, wantPackets)
+	}
+	if got := net.Verdict(); !reflect.DeepEqual(got, downVerdict) {
+		t.Fatalf("restored verdict %+v != pre-restore %+v", got, downVerdict)
+	}
+
+	// The restored shard keeps converging on the same evidence.
+	inject(150)
+	v := net.Verdict()
+	if !v.Identified || v.Stop != n-1 || !v.SuspectsContain(n) {
+		t.Fatalf("post-restore verdict = %+v, want identified at V%d", v, n-1)
+	}
+	if got := net.TrackerPackets(); got != wantPackets+150 {
+		t.Fatalf("tracker packets = %d, want %d", got, wantPackets+150)
+	}
+}

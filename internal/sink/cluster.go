@@ -1,0 +1,383 @@
+package sink
+
+import (
+	"fmt"
+
+	"pnm/internal/obs"
+	"pnm/internal/packet"
+	"pnm/internal/parallel"
+	"pnm/internal/topology"
+)
+
+// Cluster shards the sink by source partition: N shards, each owning a
+// fully private verifier chain (verifier, resolver cache, key-schedule
+// cache) and its own Tracker, with a deterministic cross-shard merge of
+// the per-shard upstream-order matrices. It is how one box verifies
+// millions of keyed sources: a packet's verification is pure and its
+// chain lands in exactly one shard's matrix, so shards never contend, the
+// per-shard resolver caches stay hot on their own sources' reports, and
+// the merged verdict is byte-identical to the unsharded sink at any shard
+// count.
+//
+// Shard state lives where parallel.Pool's factory-owned-state pattern
+// puts it: each shard is built by the factory inside its worker
+// goroutine and is only ever touched from that goroutine — Observe,
+// Verdict, Checkpoint and the crash/restore operations all reach shard i
+// through the worker that owns it, never from the caller. The caller and
+// a shard exchange data exclusively through the disjoint scratch slots a
+// Do round hands over (the same discipline Pipeline uses for results).
+//
+// Determinism contract: the merged order matrix is the transitive closure
+// of the union of the per-shard relations. Closure is a pure function of
+// the relation set, every verdict input is derived order-independently
+// from it (sorted minimals, sorted loops, smallest-ID tie-breaks), and
+// the partition itself is a pure function of each packet's report — so
+// verdicts, per-packet Results and the verdict-visible obs counters are
+// byte-identical at 1, 2 or any other number of shards, and identical to
+// a single unsharded Tracker fed the same stream.
+//
+// pnmlint:single-goroutine — the batch-routing scratch and snapshot slots
+// are unsynchronized; one goroutine owns the Cluster for its lifetime,
+// exactly like the Tracker and Pipeline it generalizes.
+type Cluster struct {
+	pool    *parallel.Pool[*clusterShard]
+	shards  int
+	factory func() Verifier
+	topo    *topology.Network
+	reg     *obs.Registry
+
+	// Per-shard scratch, reused across calls: sub-batches, the original
+	// batch positions for scattering results back into arrival order, and
+	// snapshot slots for checkpoints/merges. Slot i is written only by
+	// worker i or only by the caller, never concurrently — Do's barrier
+	// orders the handoff.
+	groups  [][]packet.Message
+	at      [][]int
+	perRes  [][]Result
+	dropped []int
+	snaps   [][]byte
+	counts  []int
+	errs    []error
+	scratch []Result
+
+	// obs bindings; no-ops unless a registry was supplied.
+	obsBatches  *obs.Counter
+	obsSpread   *obs.Histogram
+	obsDropped  *obs.Counter
+	obsCrashes  *obs.Counter
+	obsRestores *obs.Counter
+}
+
+// clusterShard is one shard's worker-goroutine-owned state.
+type clusterShard struct {
+	tracker *Tracker
+	down    bool
+	ckpt    []byte
+}
+
+// ShardOf deterministically maps a report to a shard in [0, shards). It
+// hashes the report's source-identity fields (Event and Location) and
+// ignores Seq, so every packet of one source's stream — and every
+// retransmission of one report — lands on the same shard, which is what
+// keeps that shard's resolver table cache hot. Correctness does not
+// depend on the grouping: any deterministic partition merges to the same
+// verdict; this one is chosen for cache locality.
+func ShardOf(report packet.Report, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	// FNV-1a over the 8 source-identity bytes.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for shift := 24; shift >= 0; shift -= 8 {
+		h = (h ^ uint64(report.Event>>shift)&0xFF) * prime64
+	}
+	for shift := 24; shift >= 0; shift -= 8 {
+		h = (h ^ uint64(report.Location>>shift)&0xFF) * prime64
+	}
+	return int(h % uint64(shards))
+}
+
+// NewCluster starts shards worker goroutines (at least 1), each building
+// its private shard — a Tracker over a factory-made verifier chain —
+// inside its own goroutine. reg may be nil; when set, the cluster's own
+// metrics and every shard tracker bind into it (the counters are shared
+// atomics, so sums across shards line up with an unsharded sink's).
+// Verifier-level metrics are the factory's business, exactly as with
+// Pipeline. Close the cluster to release the workers.
+func NewCluster(shards int, factory func() Verifier, topo *topology.Network, reg *obs.Registry) *Cluster {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &Cluster{
+		shards:  shards,
+		factory: factory,
+		topo:    topo,
+		reg:     reg,
+		groups:  make([][]packet.Message, shards),
+		at:      make([][]int, shards),
+		perRes:  make([][]Result, shards),
+		dropped: make([]int, shards),
+		snaps:   make([][]byte, shards),
+		counts:  make([]int, shards),
+		errs:    make([]error, shards),
+	}
+	c.obsBatches = reg.Counter("sink.cluster.batches")
+	c.obsSpread = reg.Histogram("sink.cluster.shards_per_batch")
+	c.obsDropped = reg.Counter("sink.cluster.dropped_while_down")
+	c.obsCrashes = reg.Counter("sink.cluster.shard_crashes")
+	c.obsRestores = reg.Counter("sink.cluster.shard_restores")
+	c.pool = parallel.NewPool(shards, func() *clusterShard {
+		tr := NewTracker(factory(), topo)
+		if reg != nil {
+			tr.Instrument(reg)
+		}
+		return &clusterShard{tracker: tr}
+	})
+	return c
+}
+
+// each runs fn once per shard, on the worker goroutine that owns it.
+// Passing n == shards to Do pins index i to worker i (one-slot spans), so
+// shard identity is stable across the cluster's lifetime.
+func (c *Cluster) each(fn func(sh *clusterShard, i int)) {
+	c.pool.Do(c.shards, fn)
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return c.shards }
+
+// Observe partitions the batch across the shards, verifies and folds each
+// shard's sub-batch on its owning worker in arrival order, and scatters
+// the per-packet Results back into batch order. The returned slice is the
+// cluster's scratch: read it before the next Observe. dropped counts the
+// packets discarded because their shard is crashed (their Result slots
+// stay zero), mirroring the transport sink's down semantics at shard
+// granularity.
+func (c *Cluster) Observe(batch []packet.Message) (results []Result, dropped int) {
+	if len(batch) == 0 {
+		return nil, 0
+	}
+	touched := 0
+	for i := range c.groups {
+		c.groups[i] = c.groups[i][:0]
+		c.at[i] = c.at[i][:0]
+	}
+	for pos, msg := range batch {
+		i := ShardOf(msg.Report, c.shards)
+		c.groups[i] = append(c.groups[i], msg)
+		c.at[i] = append(c.at[i], pos)
+	}
+	for i := range c.groups {
+		if n := len(c.groups[i]); n > 0 {
+			touched++
+			if cap(c.perRes[i]) < n {
+				c.perRes[i] = make([]Result, n)
+			}
+		}
+	}
+	c.each(func(sh *clusterShard, i int) {
+		c.dropped[i] = 0
+		if len(c.groups[i]) == 0 {
+			return
+		}
+		if sh.down {
+			c.dropped[i] = len(c.groups[i])
+			return
+		}
+		res := c.perRes[i][:len(c.groups[i])]
+		for j, msg := range c.groups[i] {
+			res[j] = sh.tracker.Observe(msg)
+		}
+	})
+	if cap(c.scratch) < len(batch) {
+		c.scratch = make([]Result, len(batch))
+	}
+	results = c.scratch[:len(batch)]
+	for i := range results {
+		results[i] = Result{}
+	}
+	for i := range c.groups {
+		if c.dropped[i] > 0 {
+			dropped += c.dropped[i]
+			c.obsDropped.Add(uint64(c.dropped[i]))
+			continue
+		}
+		for j, pos := range c.at[i] {
+			results[pos] = c.perRes[i][j]
+		}
+	}
+	c.obsBatches.Inc()
+	c.obsSpread.Observe(uint64(touched))
+	return results, dropped
+}
+
+// mergedOrder snapshots every live shard's order matrix (as its PNM1
+// checkpoint, so no mutable state crosses the ownership boundary) and
+// merges the relations into one matrix. Crashed shards contribute their
+// at-crash checkpoint: the evidence they folded before going down is
+// still part of the cluster's knowledge.
+func (c *Cluster) mergedOrder() (*Order, int) {
+	c.each(func(sh *clusterShard, i int) {
+		if sh.down {
+			c.snaps[i] = sh.ckpt
+			c.counts[i] = 0
+			return
+		}
+		c.snaps[i] = sh.tracker.Order().Checkpoint()
+		c.counts[i] = sh.tracker.Packets()
+	})
+	merged := NewOrder()
+	packets := 0
+	for i, snap := range c.snaps {
+		packets += c.counts[i]
+		if len(snap) == 0 {
+			continue
+		}
+		// A live shard snapshots a bare PNM1 order block; a crashed
+		// shard's at-crash checkpoint is a full PNM2 tracker blob carrying
+		// its packet count. RestoreTracker reads both.
+		tr, err := RestoreTracker(snap, nil, nil)
+		if err != nil {
+			// The snapshot is bytes we wrote moments ago on the shard's
+			// own goroutine; failing to read it back is a programming
+			// error, not a runtime condition.
+			panic(fmt.Sprintf("sink: cluster merge: shard %d: %v", i, err))
+		}
+		packets += tr.packets
+		merged.Merge(tr.order)
+	}
+	return merged, packets
+}
+
+// Verdict merges the per-shard matrices and computes the cluster's
+// traceback conclusion — byte-identical to an unsharded Tracker fed the
+// same packets, at any shard count.
+func (c *Cluster) Verdict() Verdict {
+	merged, _ := c.mergedOrder()
+	t := &Tracker{order: merged, topo: c.topo}
+	return t.Verdict()
+}
+
+// Candidates merges the per-shard matrices and returns the cluster-wide
+// candidate source set (the merged order's minimal elements).
+func (c *Cluster) Candidates() []packet.NodeID {
+	merged, _ := c.mergedOrder()
+	return merged.Minimals()
+}
+
+// Packets returns how many packets the cluster has folded, summed over
+// shards (crashed shards report the count captured in their checkpoint).
+func (c *Cluster) Packets() int {
+	_, packets := c.mergedOrder()
+	return packets
+}
+
+// Seal merges the cluster's accumulated state into a standalone read-only
+// Tracker — the merged order matrix and the summed packet count — so
+// verdicts stay readable after Close releases the shard workers. The
+// sealed tracker has no verifier: it answers Verdict, Candidates and
+// Packets; nothing folds into it.
+func (c *Cluster) Seal() *Tracker {
+	merged, packets := c.mergedOrder()
+	return &Tracker{order: merged, topo: c.topo, packets: packets}
+}
+
+// Checkpoint snapshots every shard as an independent PNM2 tracker blob.
+// Blob i restores shard i alone (RestoreShard) or the whole cluster
+// (RestoreCluster); a crashed shard yields its at-crash checkpoint.
+func (c *Cluster) Checkpoint() [][]byte {
+	c.each(func(sh *clusterShard, i int) {
+		if sh.down {
+			c.snaps[i] = append([]byte(nil), sh.ckpt...)
+			return
+		}
+		c.snaps[i] = sh.tracker.Checkpoint()
+	})
+	out := make([][]byte, c.shards)
+	copy(out, c.snaps)
+	return out
+}
+
+// CrashShard checkpoints shard i (PNM2) and takes it down: packets
+// partitioned to it are dropped and counted until RestoreShard. The other
+// shards keep verifying — the failure domain is one shard, not the sink.
+// The returned blob restores exactly this shard's state.
+func (c *Cluster) CrashShard(i int) ([]byte, error) {
+	if i < 0 || i >= c.shards {
+		return nil, fmt.Errorf("sink: cluster has no shard %d", i)
+	}
+	c.snaps[i] = nil
+	c.each(func(sh *clusterShard, idx int) {
+		if idx != i || sh.down {
+			return
+		}
+		sh.ckpt = sh.tracker.Checkpoint()
+		sh.down = true
+		c.snaps[idx] = sh.ckpt
+	})
+	blob := c.snaps[i]
+	if blob == nil {
+		return nil, fmt.Errorf("sink: shard %d is already down", i)
+	}
+	c.snaps[i] = nil
+	c.obsCrashes.Inc()
+	return append([]byte(nil), blob...), nil
+}
+
+// RestoreShard rebuilds shard i from a PNM2 blob with a fresh verifier
+// chain and brings it back into the partition. Neither the shard's order
+// matrix nor its packet count is lost across the crash.
+func (c *Cluster) RestoreShard(i int, blob []byte) error {
+	if i < 0 || i >= c.shards {
+		return fmt.Errorf("sink: cluster has no shard %d", i)
+	}
+	c.each(func(sh *clusterShard, idx int) {
+		c.errs[idx] = nil
+		if idx != i {
+			return
+		}
+		tr, err := RestoreTracker(blob, c.factory(), c.topo)
+		if err != nil {
+			c.errs[idx] = err
+			return
+		}
+		if c.reg != nil {
+			// Registry-backed counters continue the lifetime series.
+			tr.Instrument(c.reg)
+		}
+		sh.tracker = tr
+		sh.down = false
+		sh.ckpt = nil
+	})
+	if c.errs[i] == nil {
+		c.obsRestores.Inc()
+	}
+	return c.errs[i]
+}
+
+// RestoreCluster rebuilds a cluster from per-shard PNM2 blobs, one shard
+// per blob, reattaching fresh factory-built verifier chains. The blob
+// order must match the Checkpoint that produced them: the partition
+// function is a pure function of the shard count, so restoring the same
+// number of shards reproduces the same routing.
+func RestoreCluster(blobs [][]byte, factory func() Verifier, topo *topology.Network, reg *obs.Registry) (*Cluster, error) {
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("sink: cluster restore needs at least one shard blob")
+	}
+	c := NewCluster(len(blobs), factory, topo, reg)
+	for i, blob := range blobs {
+		if err := c.RestoreShard(i, blob); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("sink: cluster restore: shard %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// Close stops the shard workers. Merge-free accessors must not be called
+// afterwards.
+func (c *Cluster) Close() { c.pool.Close() }

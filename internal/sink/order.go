@@ -205,6 +205,12 @@ func (o *Order) Route() ([]packet.NodeID, bool) {
 // loop to the sink: among non-loop nodes downstream of loop members, the
 // one with no non-loop upstream outside the loop. This is where the loop
 // intersects the line (Figure 2) and where a mole must sit within one hop.
+//
+// Ties (several candidates with equally few outside ancestors) break by
+// smallest node ID, never by insertion order, so the result — like every
+// other verdict input — is a pure function of the accumulated reachability
+// relation. That is what lets a sharded cluster merge per-shard matrices
+// in any order and still reproduce the unsharded verdict byte for byte.
 func (o *Order) MostUpstreamAfterLoop(loop []packet.NodeID) (packet.NodeID, bool) {
 	inLoop := make(map[packet.NodeID]bool, len(loop))
 	for _, id := range loop {
@@ -228,9 +234,28 @@ func (o *Order) MostUpstreamAfterLoop(loop []packet.NodeID) (packet.NodeID, bool
 		if !touchesLoop {
 			continue
 		}
-		if bestOutside == -1 || outside < bestOutside {
+		if bestOutside == -1 || outside < bestOutside ||
+			(outside == bestOutside && id < best) {
 			best, bestOutside = id, outside
 		}
 	}
 	return best, bestOutside != -1
+}
+
+// Merge folds other's accumulated relation into o: every identity other
+// has seen is registered and every reachability pair is re-added as an
+// edge, so o's closure becomes the closure of the union of both relations.
+// Transitive closure is a pure function of the underlying relation set, so
+// merging k orders yields the same relation in any merge sequence — the
+// determinism a sharded sink's cross-shard verdict rests on.
+func (o *Order) Merge(other *Order) {
+	for _, id := range other.ids {
+		o.index(id)
+	}
+	for i := range other.ids {
+		ui := o.idx[other.ids[i]]
+		other.desc[i].forEach(func(j int) {
+			o.addEdge(ui, o.idx[other.ids[j]])
+		})
+	}
 }

@@ -27,6 +27,14 @@ type Config struct {
 	// workers; <= 1 keeps the serial sink loop. Verdicts are
 	// byte-identical either way.
 	Workers int
+	// Shards > 1 folds batches through a sink.Cluster instead: the batch
+	// partitions by source identity across that many shards, each with
+	// its own tracker, resolver cache and key schedules, and verdicts
+	// merge across shards deterministically — still byte-identical to the
+	// serial sink. Shards supersedes Workers (the shards are the
+	// parallelism); checkpoints become per-shard PNM2 blobs, so chaos can
+	// crash and restore one shard while the rest keep verifying.
+	Shards int
 	// QueueDepth is the ingest queue depth between the socket readers and
 	// the sink goroutine (default 256). It is also the maximum batch one
 	// pipeline pass verifies.
@@ -63,8 +71,15 @@ const (
 	// down; frames keep arriving and are dropped, counted.
 	ChaosSinkCrash ChaosKind = iota + 1
 	// ChaosSinkRestore rebuilds the sink chain from the crash checkpoint
-	// with a fresh verifier (and pipeline, when Workers > 1).
+	// with a fresh verifier (and pipeline, when Workers > 1; per-shard
+	// blobs and a fresh cluster, when Shards > 1).
 	ChaosSinkRestore
+	// ChaosShardCrash checkpoints one cluster shard (PNM2) and takes only
+	// it down; the other shards keep verifying and the down shard's
+	// packets are dropped and counted. Requires Shards > 1.
+	ChaosShardCrash
+	// ChaosShardRestore rebuilds the crashed shard from its own blob.
+	ChaosShardRestore
 )
 
 // String names the kind.
@@ -74,6 +89,10 @@ func (k ChaosKind) String() string {
 		return "sink-crash"
 	case ChaosSinkRestore:
 		return "sink-restore"
+	case ChaosShardCrash:
+		return "shard-crash"
+	case ChaosShardRestore:
+		return "shard-restore"
 	}
 	return fmt.Sprintf("ChaosKind(%d)", int(k))
 }
@@ -85,6 +104,8 @@ type ChaosEvent struct {
 	At int
 	// Kind selects the fault.
 	Kind ChaosKind
+	// Shard targets the shard kinds; ignored by whole-sink events.
+	Shard int
 }
 
 // ChaosPlan is a deterministic schedule of transport faults. Events fire
@@ -105,10 +126,12 @@ type item struct {
 type counters struct {
 	connsAccepted *obs.Counter
 	connsRefused  *obs.Counter
+	acceptErrors  *obs.Counter
 	frames        *obs.Counter
 	bytes         *obs.Counter
 	udpDatagrams  *obs.Counter
 	udpBytes      *obs.Counter
+	udpReadErrors *obs.Counter
 
 	badMagic   *obs.Counter
 	badVersion *obs.Counter
@@ -125,20 +148,25 @@ type counters struct {
 	batches         *obs.Counter
 	batchOccupancy  *obs.Histogram
 	ingestLatencyUs *obs.Histogram
+	droppedOnClose  *obs.Counter
 
-	chaosCrashes     *obs.Counter
-	chaosRestores    *obs.Counter
-	droppedWhileDown *obs.Counter
+	chaosCrashes      *obs.Counter
+	chaosRestores     *obs.Counter
+	chaosShardCrashes *obs.Counter
+	chaosShardRsts    *obs.Counter
+	droppedWhileDown  *obs.Counter
 }
 
 // bind resolves every metric name. A nil registry yields no-op metrics.
 func (c *counters) bind(reg *obs.Registry) {
 	c.connsAccepted = reg.Counter("transport.conns_accepted")
 	c.connsRefused = reg.Counter("transport.conns_refused")
+	c.acceptErrors = reg.Counter("transport.accept_errors")
 	c.frames = reg.Counter("transport.frames")
 	c.bytes = reg.Counter("transport.bytes")
 	c.udpDatagrams = reg.Counter("transport.udp.datagrams")
 	c.udpBytes = reg.Counter("transport.udp.bytes")
+	c.udpReadErrors = reg.Counter("transport.udp.read_errors")
 	c.badMagic = reg.Counter("transport.decode.bad_magic")
 	c.badVersion = reg.Counter("transport.decode.bad_version")
 	c.badType = reg.Counter("transport.decode.bad_type")
@@ -152,8 +180,11 @@ func (c *counters) bind(reg *obs.Registry) {
 	c.batches = reg.Counter("transport.ingest.batches")
 	c.batchOccupancy = reg.Histogram("transport.ingest.batch_occupancy")
 	c.ingestLatencyUs = reg.Histogram("transport.ingest.latency_us")
+	c.droppedOnClose = reg.Counter("transport.ingest.dropped_on_close")
 	c.chaosCrashes = reg.Counter("transport.chaos.sink_crashes")
 	c.chaosRestores = reg.Counter("transport.chaos.sink_restores")
+	c.chaosShardCrashes = reg.Counter("transport.chaos.shard_crashes")
+	c.chaosShardRsts = reg.Counter("transport.chaos.shard_restores")
 	c.droppedWhileDown = reg.Counter("transport.chaos.dropped_while_down")
 }
 
@@ -197,12 +228,15 @@ type Server struct {
 	mu          sync.Mutex
 	tracker     *sink.Tracker  // pnmlint:guarded-by mu
 	pipe        *sink.Pipeline // pnmlint:guarded-by mu
+	cluster     *sink.Cluster  // pnmlint:guarded-by mu
 	down        bool           // pnmlint:guarded-by mu
 	ckpt        []byte         // pnmlint:guarded-by mu
+	shardCkpts  [][]byte       // pnmlint:guarded-by mu
 	delivered   int            // pnmlint:guarded-by mu
 	deliveredCh chan struct{}  // pnmlint:guarded-by mu
 
 	closeOnce sync.Once
+	drainOnce sync.Once
 }
 
 // Listen binds addr (TCP, required; ":0" picks a port) and udpAddr (UDP,
@@ -232,14 +266,22 @@ func Listen(addr, udpAddr string, cfg Config) (*Server, error) {
 	}
 	// Build the guarded sink state before the Server value exists: once
 	// the &Server{} literal publishes it to the goroutines below, every
-	// touch of tracker/pipe must hold mu.
-	tracker := sink.NewTracker(cfg.NewVerifier(), cfg.Topo)
-	if cfg.Obs != nil {
-		tracker.Instrument(cfg.Obs)
-	}
-	var pipe *sink.Pipeline
-	if cfg.Workers > 1 {
-		pipe = newPipeline(cfg, tracker)
+	// touch of tracker/pipe/cluster must hold mu.
+	var (
+		tracker *sink.Tracker
+		pipe    *sink.Pipeline
+		cluster *sink.Cluster
+	)
+	if cfg.Shards > 1 {
+		cluster = newCluster(cfg)
+	} else {
+		tracker = sink.NewTracker(cfg.NewVerifier(), cfg.Topo)
+		if cfg.Obs != nil {
+			tracker.Instrument(cfg.Obs)
+		}
+		if cfg.Workers > 1 {
+			pipe = newPipeline(cfg, tracker)
+		}
 	}
 	s := &Server{
 		cfg:         cfg,
@@ -250,6 +292,7 @@ func Listen(addr, udpAddr string, cfg Config) (*Server, error) {
 		conns:       make(map[net.Conn]struct{}),
 		tracker:     tracker,
 		pipe:        pipe,
+		cluster:     cluster,
 		deliveredCh: make(chan struct{}),
 	}
 	s.c.bind(cfg.Obs)
@@ -284,6 +327,28 @@ func newPipeline(cfg Config, tracker *sink.Tracker) *sink.Pipeline {
 	return p
 }
 
+// newCluster builds the sharded sink for Config.Shards > 1. Like
+// newPipeline it is a free function so Listen (and chaos restore) can
+// build the cluster outside the Server's lock discipline; the shard
+// trackers instrument themselves inside their owning worker goroutines.
+func newCluster(cfg Config) *sink.Cluster {
+	return sink.NewCluster(cfg.Shards, clusterFactory(cfg), cfg.Topo, cfg.Obs)
+}
+
+// clusterFactory wraps cfg.NewVerifier with obs instrumentation, the same
+// per-worker verifier recipe the pipeline uses.
+func clusterFactory(cfg Config) func() sink.Verifier {
+	return func() sink.Verifier {
+		v := cfg.NewVerifier()
+		if cfg.Obs != nil {
+			if in, ok := v.(sink.Instrumentable); ok {
+				in.Instrument(cfg.Obs)
+			}
+		}
+		return v
+	}
+}
+
 // Addr returns the TCP listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
@@ -295,9 +360,14 @@ func (s *Server) UDPAddr() net.Addr {
 	return s.udp.LocalAddr()
 }
 
-// acceptLoop admits TCP connections up to MaxConns.
+// acceptLoop admits TCP connections up to MaxConns. Accept errors while
+// the server is live are counted; temporary ones (EMFILE and friends)
+// back off exponentially instead of spinning hot, and a permanently dead
+// listener — closed under us, or failing non-temporarily — ends the loop
+// rather than burning a core retrying a socket that will never recover.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	delay := time.Millisecond
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -306,9 +376,23 @@ func (s *Server) acceptLoop() {
 				return
 			default:
 			}
-			// Transient accept failure; the listener may still recover.
-			continue
+			s.c.acceptErrors.Inc()
+			if errors.Is(err, net.ErrClosed) {
+				return // listener gone for good
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if !s.pause(delay) {
+					return
+				}
+				if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				continue
+			}
+			return // non-temporary, non-close failure: the listener is lost
 		}
+		delay = time.Millisecond
 		if !s.admit(conn) {
 			s.c.connsRefused.Inc()
 			conn.Close()
@@ -317,6 +401,20 @@ func (s *Server) acceptLoop() {
 		s.c.connsAccepted.Inc()
 		s.wg.Add(1)
 		go s.readLoop(conn)
+	}
+}
+
+// pause sleeps for d or until the server stops, reporting whether it is
+// still running — the accept/read loops' backoff primitive.
+func (s *Server) pause(d time.Duration) bool {
+	//pnmlint:allow wallclock socket-error backoff, never reaches verdicts
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stop:
+		return false
 	}
 }
 
@@ -371,10 +469,13 @@ func (s *Server) readLoop(conn net.Conn) {
 }
 
 // udpLoop decodes datagrams — one frame each — into the ingest queue.
-// Every rejection is per-datagram and counted.
+// Every rejection is per-datagram and counted. Read errors follow the
+// same discipline as acceptLoop: counted, backed off when temporary,
+// loop exit when the socket is permanently gone.
 func (s *Server) udpLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, s.cfg.Limits.MaxFrameBytes+FrameHeaderLen)
+	delay := time.Millisecond
 	for {
 		n, _, err := s.udp.ReadFrom(buf)
 		if err != nil {
@@ -382,9 +483,24 @@ func (s *Server) udpLoop() {
 			case <-s.stop:
 				return
 			default:
+			}
+			s.c.udpReadErrors.Inc()
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if !s.pause(delay) {
+					return
+				}
+				if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
 				continue
 			}
+			return
 		}
+		delay = time.Millisecond
 		s.c.udpDatagrams.Inc()
 		s.c.udpBytes.Add(uint64(n))
 		msg, err := DecodeDatagram(buf[:n], s.cfg.Limits)
@@ -414,6 +530,16 @@ func (s *Server) enqueue(msg packet.Message) bool {
 		return true
 	case queue.DropOldest:
 		for {
+			// Shutdown wins over eviction: a stopped sink never drains the
+			// queue, so without this exit racing readers spin unboundedly
+			// against each other here during Close. The undelivered frame
+			// joins the close-time drop ledger.
+			select {
+			case <-s.stop:
+				s.c.droppedOnClose.Inc()
+				return false
+			default:
+			}
 			select {
 			case <-s.ingest:
 				s.c.queueDropOldest.Inc()
@@ -424,6 +550,9 @@ func (s *Server) enqueue(msg packet.Message) bool {
 			select {
 			case s.ingest <- it:
 				return true
+			case <-s.stop:
+				s.c.droppedOnClose.Inc()
+				return false
 			default:
 			}
 		}
@@ -433,6 +562,7 @@ func (s *Server) enqueue(msg packet.Message) bool {
 		case s.ingest <- it:
 			return true
 		case <-s.stop:
+			s.c.droppedOnClose.Inc()
 			return false
 		}
 	}
@@ -456,6 +586,16 @@ func (s *Server) sinkLoop() {
 	chaos := 0
 	batch := make([]item, 0, s.cfg.QueueDepth)
 	for {
+		// Shutdown has priority over further folding: once stop closes,
+		// whatever is still queued stays there for Close's drain, which
+		// counts it as dropped_on_close — otherwise the select below could
+		// keep picking ready frames over the closed stop channel and the
+		// ledger would race the shutdown.
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
 		select {
 		case <-s.stop:
 			return
@@ -489,13 +629,27 @@ func (s *Server) fold(batch []item) {
 		s.c.droppedWhileDown.Add(uint64(len(batch)))
 		return
 	}
-	if s.pipe != nil {
+	delivered := len(batch)
+	switch {
+	case s.cluster != nil:
+		msgs := make([]packet.Message, len(batch))
+		for i := range batch {
+			msgs[i] = batch[i].msg
+		}
+		_, dropped := s.cluster.Observe(msgs)
+		if dropped > 0 {
+			// A crashed shard's share of the batch: the sink is up, the
+			// failure domain is one shard wide.
+			s.c.droppedWhileDown.Add(uint64(dropped))
+			delivered -= dropped
+		}
+	case s.pipe != nil:
 		msgs := make([]packet.Message, len(batch))
 		for i := range batch {
 			msgs[i] = batch[i].msg
 		}
 		s.pipe.Observe(msgs)
-	} else {
+	default:
 		for i := range batch {
 			s.tracker.Observe(batch[i].msg)
 		}
@@ -511,8 +665,8 @@ func (s *Server) fold(batch []item) {
 	}
 	s.c.batches.Inc()
 	s.c.batchOccupancy.Observe(uint64(len(batch)))
-	s.c.delivered.Add(uint64(len(batch)))
-	s.delivered += len(batch)
+	s.c.delivered.Add(uint64(delivered))
+	s.delivered += delivered
 	close(s.deliveredCh)
 	s.deliveredCh = make(chan struct{})
 }
@@ -526,10 +680,20 @@ func (s *Server) applyChaos(ev ChaosEvent) {
 		if s.down {
 			return
 		}
-		s.ckpt = s.tracker.Checkpoint()
-		if s.pipe != nil {
-			s.pipe.Close()
-			s.pipe = nil
+		if s.cluster != nil {
+			// The whole sink goes down: every shard checkpoints to its own
+			// PNM2 blob, and a sealed tracker keeps verdicts readable (and
+			// stale, like the serial sink's) while down.
+			s.shardCkpts = s.cluster.Checkpoint()
+			s.tracker = s.cluster.Seal()
+			s.cluster.Close()
+			s.cluster = nil
+		} else {
+			s.ckpt = s.tracker.Checkpoint()
+			if s.pipe != nil {
+				s.pipe.Close()
+				s.pipe = nil
+			}
 		}
 		s.down = true
 		s.c.chaosCrashes.Inc()
@@ -537,21 +701,56 @@ func (s *Server) applyChaos(ev ChaosEvent) {
 		if !s.down {
 			return
 		}
-		tr, err := sink.RestoreTracker(s.ckpt, s.cfg.NewVerifier(), s.cfg.Topo)
-		if err != nil {
-			// A checkpoint we wrote ourselves must restore; treat failure
-			// as an unrecoverable bug rather than silently continuing.
-			panic(fmt.Sprintf("transport: chaos restore: %v", err))
-		}
-		s.tracker = tr
-		if s.cfg.Obs != nil {
-			s.tracker.Instrument(s.cfg.Obs)
-		}
-		if s.cfg.Workers > 1 {
-			s.pipe = newPipeline(s.cfg, s.tracker)
+		if s.cfg.Shards > 1 {
+			cl, err := sink.RestoreCluster(s.shardCkpts, clusterFactory(s.cfg), s.cfg.Topo, s.cfg.Obs)
+			if err != nil {
+				// A checkpoint we wrote ourselves must restore; treat
+				// failure as an unrecoverable bug, not a runtime condition.
+				panic(fmt.Sprintf("transport: chaos restore: %v", err))
+			}
+			s.cluster = cl
+			s.tracker = nil
+			s.shardCkpts = nil
+		} else {
+			tr, err := sink.RestoreTracker(s.ckpt, s.cfg.NewVerifier(), s.cfg.Topo)
+			if err != nil {
+				panic(fmt.Sprintf("transport: chaos restore: %v", err))
+			}
+			s.tracker = tr
+			if s.cfg.Obs != nil {
+				s.tracker.Instrument(s.cfg.Obs)
+			}
+			if s.cfg.Workers > 1 {
+				s.pipe = newPipeline(s.cfg, s.tracker)
+			}
 		}
 		s.down = false
 		s.c.chaosRestores.Inc()
+	case ChaosShardCrash:
+		if s.cluster == nil || s.down {
+			return // shard faults need a live cluster
+		}
+		blob, err := s.cluster.CrashShard(ev.Shard)
+		if err != nil {
+			return // no such shard, or already down: chaos is best-effort
+		}
+		if s.shardCkpts == nil {
+			s.shardCkpts = make([][]byte, s.cfg.Shards)
+		}
+		s.shardCkpts[ev.Shard] = blob
+		s.c.chaosShardCrashes.Inc()
+	case ChaosShardRestore:
+		if s.cluster == nil || s.down {
+			return
+		}
+		if ev.Shard < 0 || ev.Shard >= len(s.shardCkpts) || s.shardCkpts[ev.Shard] == nil {
+			return // nothing crashed under that index
+		}
+		if err := s.cluster.RestoreShard(ev.Shard, s.shardCkpts[ev.Shard]); err != nil {
+			panic(fmt.Sprintf("transport: chaos shard restore: %v", err))
+		}
+		s.shardCkpts[ev.Shard] = nil
+		s.c.chaosShardRsts.Inc()
 	}
 }
 
@@ -562,10 +761,15 @@ func (s *Server) Delivered() int {
 	return s.delivered
 }
 
-// Verdict returns the sink's current traceback conclusion.
+// Verdict returns the sink's current traceback conclusion. In cluster
+// mode this merges the per-shard order matrices — byte-identical to the
+// serial sink's verdict over the same delivered stream.
 func (s *Server) Verdict() sink.Verdict {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.cluster != nil {
+		return s.cluster.Verdict()
+	}
 	return s.tracker.Verdict()
 }
 
@@ -594,7 +798,11 @@ func (s *Server) WaitDelivered(want int, timeout time.Duration) error {
 }
 
 // Close stops the listeners and every goroutine, then waits for them.
-// Safe to call more than once; the tracker remains readable.
+// Safe to call more than once; verdicts remain readable. Frames still in
+// the ingest queue when the goroutines have drained out are dropped here
+// — and counted (transport.ingest.dropped_on_close), so the ledger
+// invariant holds exactly at rest: every ingested frame is delivered, a
+// policy drop, dropped while the sink was down, or dropped on close.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.stop)
@@ -609,4 +817,28 @@ func (s *Server) Close() {
 		s.connMu.Unlock()
 	})
 	s.wg.Wait()
+	s.drainOnce.Do(func() {
+		undelivered := 0
+	drain:
+		for {
+			select {
+			case <-s.ingest:
+				undelivered++
+			default:
+				break drain
+			}
+		}
+		if undelivered > 0 {
+			s.c.droppedOnClose.Add(uint64(undelivered))
+		}
+		s.mu.Lock()
+		if s.cluster != nil {
+			// Seal the merged state so Verdict outlives the shard workers,
+			// then release them.
+			s.tracker = s.cluster.Seal()
+			s.cluster.Close()
+			s.cluster = nil
+		}
+		s.mu.Unlock()
+	})
 }
