@@ -6,7 +6,7 @@ GO ?= go
 # GOMAXPROCS. Results are byte-identical for every value.
 WORKERS ?= 0
 
-.PHONY: all build test race vet lint bench bench-resolver bench-sink bench-fault bench-shard fuzz-smoke soak ci figures examples clean
+.PHONY: all build test race vet lint bench bench-resolver bench-sink bench-fault bench-shard bench-scale fuzz-smoke soak ci figures examples clean
 
 all: build test
 
@@ -66,6 +66,16 @@ bench-fault:
 # unsharded baseline at generation time; timings vary with the machine.
 bench-shard:
 	$(GO) run ./cmd/pnmsim -exp benchshard > BENCH_shard.json
+
+# Regenerate the committed multicore-scaling benchmark (E22): serial vs
+# pipeline workers (W1-W8) vs cluster shards (1/2/8) over the keyed-source
+# workload, with per-row GOMAXPROCS/NumCPU provenance and allocation
+# columns (B/op, allocs/op) bracketing only the observe region. Verdict
+# hashes are checked against the serial baseline at generation time;
+# timings and speedups vary with the machine - read them against the
+# recorded gomaxprocs.
+bench-scale:
+	$(GO) run ./cmd/pnmsim -exp benchscale > BENCH_scale.json
 
 # Short coverage-guided fuzzing over the trust boundary: the hardened
 # packet decoder and the frame reader that feeds it untrusted socket

@@ -2,12 +2,13 @@
 //
 // Usage:
 //
-//	pnmsim -exp fig4|fig5|fig6|fig7|matrix|headline|ablate|resolve|benchresolver|benchsink|benchfault|benchshard|filter [flags]
+//	pnmsim -exp fig4|fig5|fig6|fig7|matrix|headline|ablate|resolve|benchresolver|benchsink|benchfault|benchshard|benchscale|filter [flags]
 //
 // Output is CSV for the figure experiments (pipe into a plotter), an
 // aligned text table for the tabular ones, or JSON for benchresolver,
-// benchsink, benchfault and benchshard (redirect into BENCH_resolver.json /
-// BENCH_sink.json / BENCH_fault.json / BENCH_shard.json). -plot renders a crude ASCII plot
+// benchsink, benchfault, benchshard and benchscale (redirect into
+// BENCH_resolver.json / BENCH_sink.json / BENCH_fault.json /
+// BENCH_shard.json / BENCH_scale.json). -plot renders a crude ASCII plot
 // instead of CSV. -stats dumps the sink chain's obs counters to stderr
 // after instrumented experiments (resolve).
 //
@@ -41,7 +42,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pnmsim", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, matrix, headline, ablate, resolve, benchresolver, benchsink, benchfault, benchshard, filter, related, precision, overhead, multisource, background, dynamics, molepos")
+		exp     = fs.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, matrix, headline, ablate, resolve, benchresolver, benchsink, benchfault, benchshard, benchscale, filter, related, precision, overhead, multisource, background, dynamics, molepos")
 		runs    = fs.Int("runs", 0, "override the run count (0 = experiment default)")
 		seed    = fs.Int64("seed", 0, "override the RNG seed (0 = experiment default)")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for run-parallel experiments (<= 0 = GOMAXPROCS); results are identical for every value")
@@ -205,6 +206,25 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		doc, err := experiment.RenderShardBench(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, doc)
+		return nil
+	case "benchscale":
+		// Multicore scaling truth (E22): serial vs pipeline workers vs
+		// cluster shards over the keyed-source workload, with per-row
+		// GOMAXPROCS/NumCPU and allocation columns; verdict-hash equality
+		// with the serial baseline is enforced at generation time.
+		cfg := experiment.DefaultScaleBench()
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := experiment.ScaleBench(cfg)
+		if err != nil {
+			return err
+		}
+		doc, err := experiment.RenderScaleBench(res)
 		if err != nil {
 			return err
 		}

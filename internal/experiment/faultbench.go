@@ -83,6 +83,7 @@ type FaultBenchRow struct {
 
 // FaultBenchResult is the committed document.
 type FaultBenchResult struct {
+	Env    BenchEnv         `json:"env"`
 	Config FaultBenchConfig `json:"config"`
 	// Mole is the planted source; FirstHop its protected parent.
 	Mole     packet.NodeID   `json:"mole"`
@@ -173,6 +174,7 @@ func FaultBench(cfg FaultBenchConfig) (*FaultBenchResult, error) {
 	protect := []packet.NodeID{moleID, firstHop}
 
 	res := &FaultBenchResult{
+		Env:    CaptureBenchEnv(false),
 		Config: cfg, Mole: moleID, FirstHop: firstHop, Depth: topo.Depth(moleID),
 		Note: "fault events applied at settled batch boundaries; verdict equality with the fault-free baseline is enforced at generation time",
 	}

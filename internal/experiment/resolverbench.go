@@ -83,6 +83,7 @@ type ResolverBenchRow struct {
 
 // ResolverBenchResult is the committed BENCH_resolver.json document.
 type ResolverBenchResult struct {
+	Env    BenchEnv            `json:"env"`
 	Config ResolverBenchConfig `json:"config"`
 	Rows   []ResolverBenchRow  `json:"rows"`
 }
@@ -106,7 +107,7 @@ func ResolverBench(cfg ResolverBenchConfig) (*ResolverBenchResult, error) {
 		return nil, err
 	}
 
-	res := &ResolverBenchResult{Config: cfg}
+	res := &ResolverBenchResult{Env: CaptureBenchEnv(false), Config: cfg}
 	variants := []struct {
 		name     string
 		capacity int

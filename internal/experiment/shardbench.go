@@ -120,6 +120,7 @@ type ShardScenarioResult struct {
 
 // ShardBenchResult is the committed BENCH_shard.json document.
 type ShardBenchResult struct {
+	Env      BenchEnv            `json:"env"`
 	Config   ShardBenchConfig    `json:"config"`
 	Rows     []ShardBenchRow     `json:"rows"`
 	Scenario ShardScenarioResult `json:"scenario"`
@@ -137,12 +138,12 @@ func ShardBench(cfg ShardBenchConfig) (*ShardBenchResult, error) {
 		return nil, err
 	}
 	keys := mac.NewKeyStore([]byte("shard-bench"))
-	gen, err := newKeyedGen(cfg, topo, keys)
+	gen, err := newKeyedGen(cfg.Nodes, cfg.Hosts, cfg.Seed, topo, keys)
 	if err != nil {
 		return nil, err
 	}
 
-	res := &ShardBenchResult{Config: cfg}
+	res := &ShardBenchResult{Env: CaptureBenchEnv(false), Config: cfg}
 	for _, sources := range cfg.SourceSweep {
 		rows, err := runShardSweepPoint(cfg, gen, topo, keys, sources)
 		if err != nil {
@@ -165,8 +166,10 @@ func ShardBench(cfg ShardBenchConfig) (*ShardBenchResult, error) {
 // reseeded, so every configuration at a sweep point folds a byte-
 // identical stream.
 type keyedGen struct {
-	scheme marking.Scheme
+	scheme marking.PNM
 	keys   *mac.KeyStore
+	hasher *mac.Hasher
+	macBuf []byte
 	seed   int64
 	hosts  []packet.NodeID
 	paths  [][]packet.NodeID
@@ -174,30 +177,31 @@ type keyedGen struct {
 	next   int
 }
 
-func newKeyedGen(cfg ShardBenchConfig, topo *topology.Network, keys *mac.KeyStore) (*keyedGen, error) {
-	nodes := topo.Nodes()
-	byDepth := make([]packet.NodeID, len(nodes))
-	copy(byDepth, nodes)
+func newKeyedGen(nodes, hosts int, seed int64, topo *topology.Network, keys *mac.KeyStore) (*keyedGen, error) {
+	all := topo.Nodes()
+	byDepth := make([]packet.NodeID, len(all))
+	copy(byDepth, all)
 	sort.SliceStable(byDepth, func(i, j int) bool {
 		return topo.Depth(byDepth[i]) > topo.Depth(byDepth[j])
 	})
-	if cfg.Hosts < 1 || len(byDepth) < cfg.Hosts {
-		return nil, fmt.Errorf("experiment: %d nodes cannot host %d keyed-source hosts", len(byDepth), cfg.Hosts)
+	if hosts < 1 || len(byDepth) < hosts {
+		return nil, fmt.Errorf("experiment: %d nodes cannot host %d keyed-source hosts", len(byDepth), hosts)
 	}
-	hosts := byDepth[:cfg.Hosts]
-	maxHops := topo.Depth(hosts[0]) - 1
+	hostIDs := byDepth[:hosts]
+	maxHops := topo.Depth(hostIDs[0]) - 1
 	if maxHops < 1 {
-		return nil, fmt.Errorf("experiment: degenerate topology at size %d", cfg.Nodes)
+		return nil, fmt.Errorf("experiment: degenerate topology at size %d", nodes)
 	}
-	paths := make([][]packet.NodeID, len(hosts))
-	for i, h := range hosts {
+	paths := make([][]packet.NodeID, len(hostIDs))
+	for i, h := range hostIDs {
 		paths[i] = topo.Forwarders(h)
 	}
 	return &keyedGen{
 		scheme: marking.PNM{P: analytic.ProbabilityForMarks(maxHops, 3)},
 		keys:   keys,
-		seed:   cfg.Seed,
-		hosts:  hosts,
+		hasher: keys.Hasher(),
+		seed:   seed,
+		hosts:  hostIDs,
 		paths:  paths,
 	}, nil
 }
@@ -207,19 +211,24 @@ func (g *keyedGen) reset() {
 	g.next = 0
 }
 
-// batch fills buf with the next len(buf) packets of the stream.
+// batch fills buf with the next len(buf) packets of the stream,
+// overwriting buf in place: each slot's mark storage is reused, so
+// steady-state generation allocates nothing and the messages of the
+// previous batch are invalidated. Marking runs on cached key schedules
+// through MarkSched, which is byte-identical to Scheme.Mark.
 func (g *keyedGen) batch(buf []packet.Message) {
 	for k := range buf {
 		i := g.next
 		g.next++
 		h := i % len(g.hosts)
-		msg := packet.Message{Report: packet.Report{
+		m := &buf[k]
+		m.Report = packet.Report{
 			Event: uint32(i + 1), Location: uint32(g.hosts[h]), Seq: 1,
-		}}
-		for _, hop := range g.paths[h] {
-			msg = g.scheme.Mark(hop, g.keys.Key(hop), msg, g.rng)
 		}
-		buf[k] = msg
+		m.Marks = m.Marks[:0]
+		for _, hop := range g.paths[h] {
+			g.macBuf = g.scheme.MarkSched(g.hasher.Schedule(hop), g.macBuf, m, hop, g.rng)
+		}
 	}
 }
 
@@ -292,9 +301,13 @@ func runShardSweepPoint(cfg ShardBenchConfig, gen *keyedGen, topo *topology.Netw
 	tracker.Instrument(reg)
 	digest := sha256.New()
 	spent := feed(func(batch []packet.Message) []sink.Result {
+		// ObserveKeep with one reset per batch: hashResults reads the
+		// whole batch's Results after the loop, and per-packet Observe
+		// would recycle each Result's chain storage under it.
 		resBuf = resBuf[:0]
+		tracker.ResetVerifyScratch()
 		for _, m := range batch {
-			resBuf = append(resBuf, tracker.Observe(m))
+			resBuf = append(resBuf, tracker.ObserveKeep(m))
 		}
 		return resBuf
 	}, digest)

@@ -106,6 +106,7 @@ type SinkBenchRow struct {
 
 // SinkBenchResult is the committed BENCH_sink.json document.
 type SinkBenchResult struct {
+	Env    BenchEnv         `json:"env"`
 	Config SinkBenchConfig  `json:"config"`
 	Mac    MacBenchResult   `json:"mac"`
 	Table  TableBenchResult `json:"table_build"`
@@ -129,7 +130,7 @@ func SinkBench(cfg SinkBenchConfig) (*SinkBenchResult, error) {
 		return nil, err
 	}
 
-	res := &SinkBenchResult{Config: cfg}
+	res := &SinkBenchResult{Env: CaptureBenchEnv(false), Config: cfg}
 	res.Mac = macBench(keys, cfg.MacIters)
 	res.Table = tableBench(keys, topo, cfg.MacIters/max(topo.NumNodes(), 1)+1)
 

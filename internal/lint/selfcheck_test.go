@@ -118,6 +118,7 @@ func TestServerGuardedFieldsPresent(t *testing.T) {
 		"Server.ckpt":        "mu",
 		"Server.delivered":   "mu",
 		"Server.deliveredCh": "mu",
+		"Server.foldMsgs":    "mu",
 		"Server.conns":       "connMu",
 	} {
 		if got := byName[field]; got != mutex {
@@ -153,11 +154,12 @@ func TestNetworkGuardedFieldsPresent(t *testing.T) {
 }
 
 // TestNoallocHotPathsAnnotated pins the zero-alloc kernel set: the MAC
-// schedule, the marking encode paths and the sink verify kernels all
-// carry // pnmlint:noalloc, so the escape-analysis gate actually covers
-// the functions the AllocsPerRun benchmarks measure.
+// schedule, the marking encode paths, the sink verify kernels and the
+// wire decode path all carry // pnmlint:noalloc, so the escape-analysis
+// gate actually covers the functions the AllocsPerRun benchmarks measure.
 func TestNoallocHotPathsAnnotated(t *testing.T) {
-	prog, err := Load("../..", "./internal/mac", "./internal/marking", "./internal/sink")
+	prog, err := Load("../..", "./internal/mac", "./internal/marking", "./internal/sink",
+		"./internal/packet", "./internal/transport")
 	if err != nil {
 		t.Fatalf("load packages: %v", err)
 	}
@@ -174,6 +176,13 @@ func TestNoallocHotPathsAnnotated(t *testing.T) {
 		"pnm/internal/marking.AMSMACSched",
 		"pnm/internal/sink.NestedVerifier.verifyMark",
 		"pnm/internal/sink.NestedVerifier.resolveProbe",
+		"pnm/internal/sink.NestedVerifier.Verify",
+		"pnm/internal/sink.AMSVerifier.Verify",
+		"pnm/internal/sink.PPMVerifier.Verify",
+		"pnm/internal/packet.DecodeLimit.DecodeInto",
+		"pnm/internal/transport.FrameReader.Next",
+		"pnm/internal/transport.FrameReader.decodeAfterHeader",
+		"pnm/internal/transport.DecodeDatagramInto",
 	} {
 		if _, ok := funcs[want]; !ok {
 			t.Errorf("%s lacks the // pnmlint:noalloc annotation", want)

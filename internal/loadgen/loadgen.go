@@ -130,11 +130,21 @@ func (s *Scenario) Stream(n int) []packet.Message {
 	for i, id := range forwarders {
 		rngs[i] = rand.New(rand.NewSource(s.cfg.Seed ^ (int64(id) * nodeSeedSalt)))
 	}
+	// The sched marking path reuses one cached key schedule per forwarder
+	// and one MAC-input scratch buffer across the whole stream instead of
+	// re-deriving and re-encoding per send; TestStreamMatchesSchemeMark
+	// pins it byte-identical to the generic Scheme.Mark path.
+	scheme, ok := s.Scheme.(marking.PNM)
+	if !ok {
+		panic(fmt.Sprintf("loadgen: scheme %s is not PNM", s.Scheme.Name()))
+	}
+	hasher := s.Keys.Hasher()
+	var macBuf []byte
 	out := make([]packet.Message, 0, n)
 	for p := 0; p < n; p++ {
 		msg := src.Next(env, srcRng)
 		for i, id := range forwarders {
-			msg = s.Scheme.Mark(id, s.Keys.Key(id), msg, rngs[i])
+			macBuf = scheme.MarkSched(hasher.Schedule(id), macBuf, &msg, id, rngs[i])
 		}
 		out = append(out, msg)
 	}

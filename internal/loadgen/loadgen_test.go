@@ -2,9 +2,13 @@ package loadgen
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
 
+	"pnm/internal/mac"
+	"pnm/internal/mole"
+	"pnm/internal/packet"
 	"pnm/internal/sink"
 )
 
@@ -35,6 +39,44 @@ func TestStreamIsDeterministic(t *testing.T) {
 	for i := range sa {
 		if !bytes.Equal(sa[i].Encode(nil), again[i].Encode(nil)) {
 			t.Fatalf("packet %d differs across repeated draws", i)
+		}
+	}
+}
+
+// TestStreamMatchesSchemeMark pins the sched-path optimization: Stream's
+// cached-schedule, buffer-reusing marking must emit byte-identical
+// packets to the generic Scheme.Mark path it replaced.
+func TestStreamMatchesSchemeMark(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	got := s.Stream(n)
+
+	// Regenerate the same stream through the clone-per-mark generic path.
+	env := &mole.Env{
+		Scheme:     s.Scheme,
+		StolenKeys: map[packet.NodeID]mac.Key{s.Mole: s.Keys.Key(s.Mole)},
+	}
+	src := &mole.Source{
+		ID:       s.Mole,
+		Base:     packet.Report{Event: 0xF00D, Location: uint32(s.Mole)},
+		Behavior: mole.MarkNever,
+	}
+	srcRng := rand.New(rand.NewSource(s.cfg.Seed))
+	forwarders := s.Topo.Forwarders(s.Mole)
+	rngs := make([]*rand.Rand, len(forwarders))
+	for i, id := range forwarders {
+		rngs[i] = rand.New(rand.NewSource(s.cfg.Seed ^ (int64(id) * nodeSeedSalt)))
+	}
+	for p := 0; p < n; p++ {
+		want := src.Next(env, srcRng)
+		for i, id := range forwarders {
+			want = s.Scheme.Mark(id, s.Keys.Key(id), want, rngs[i])
+		}
+		if !bytes.Equal(got[p].Encode(nil), want.Encode(nil)) {
+			t.Fatalf("packet %d: sched marking path diverged from Scheme.Mark", p)
 		}
 	}
 }

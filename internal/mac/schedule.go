@@ -44,9 +44,17 @@ type Schedule struct {
 	enc          []byte // reusable AnonID input buffer
 }
 
-// NewSchedule precomputes the key schedule for k. This is the only
-// allocating step; amortize it by caching schedules per key (see Hasher).
-func NewSchedule(k Key) *Schedule {
+// schedCore is the immutable, shareable half of a key schedule: the two
+// marshaled pad-absorbed SHA-256 states. Building one pays the ipad and
+// opad compressions; everything else in a Schedule is cheap per-goroutine
+// scratch. A core is never written after construction, so KeyStore caches
+// one per node and hands the same core to every Hasher.
+type schedCore struct {
+	inner, outer []byte
+}
+
+// newSchedCore absorbs k's HMAC pads — the expensive, once-per-key step.
+func newSchedCore(k Key) schedCore {
 	var pad [blockSize]byte
 	copy(pad[:], k[:])
 	for i := range pad {
@@ -67,14 +75,74 @@ func NewSchedule(k Key) *Schedule {
 	if err != nil {
 		panic(fmt.Sprintf("mac: marshal outer sha256 state: %v", err))
 	}
+	return schedCore{inner: inner, outer: outer}
+}
+
+// newScheduleFromCore wraps a shared core in fresh single-goroutine
+// scratch (digests and buffers) — no pad compressions, no hashing.
+func newScheduleFromCore(c schedCore) *Schedule {
 	return &Schedule{
-		inner: inner,
-		outer: outer,
-		ih:    ih,
-		oh:    oh,
+		inner: c.inner,
+		outer: c.outer,
+		ih:    sha256.New().(marshalingHash),
+		oh:    sha256.New().(marshalingHash),
 		buf:   make([]byte, 0, sha256.Size),
 		enc:   make([]byte, 0, len(anonDomain)+packet.ReportLen+2),
 	}
+}
+
+// NewSchedule precomputes the key schedule for k. This is the only
+// allocating step; amortize it by caching schedules per key (see Hasher,
+// which additionally shares the pad-absorbed cores across goroutines via
+// the KeyStore).
+func NewSchedule(k Key) *Schedule {
+	return newScheduleFromCore(newSchedCore(k))
+}
+
+// scheduleCore returns the store-wide shared core for id's key, building
+// and caching it on first use, along with the store's current schedule
+// epoch and whether this call built the core (for the caller's miss
+// accounting).
+func (ks *KeyStore) scheduleCore(id packet.NodeID) (schedCore, uint64, bool) {
+	ks.mu.RLock()
+	c, ok := ks.cores[id]
+	epoch := ks.epoch
+	ks.mu.RUnlock()
+	if ok {
+		return c, epoch, false
+	}
+	k := ks.Key(id) // takes ks.mu itself; derive before the write lock
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if c, ok := ks.cores[id]; ok {
+		return c, ks.epoch, false
+	}
+	c = newSchedCore(k)
+	ks.cores[id] = c
+	ks.coreBuilds++
+	return c, ks.epoch, true
+}
+
+// InvalidateSchedules drops every cached schedule core and bumps the
+// schedule epoch, so each Hasher discards its local schedules the next
+// time it misses — the hook a future key-rotation path needs. Hashers
+// that never miss again keep serving their cached (now stale) schedules;
+// rotation must therefore pair this with retiring the old verifier
+// chains, which is how the sink already rebuilds after crash/restore.
+func (ks *KeyStore) InvalidateSchedules() {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	clear(ks.cores)
+	ks.epoch++
+}
+
+// CoreBuilds reports how many schedule cores the store has built — the
+// store-wide pad-compression count the sharing exists to minimize (at
+// most one per distinct node per epoch, however many workers warm up).
+func (ks *KeyStore) CoreBuilds() uint64 {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return ks.coreBuilds
 }
 
 // Sum computes the truncated marking MAC H_k(data), bit-identical to the
@@ -118,18 +186,23 @@ func (s *Schedule) finish() []byte {
 // Hasher is a goroutine-local cache of per-node key schedules over a
 // KeyStore. The KeyStore itself is synchronized and shared freely; the
 // schedules are not, so each goroutine that verifies MACs (a sink
-// pipeline worker, a resolver) holds its own Hasher and pays the schedule
-// construction once per node it encounters.
+// pipeline worker, a cluster shard, a resolver) holds its own Hasher. A
+// local miss fetches the node's shared pad-absorbed core from the store
+// (built at most once per node store-wide, whatever the worker count)
+// and wraps it in private scratch, so per-goroutine warmup costs two
+// digest constructions instead of two SHA-256 pad compressions.
 //
 // pnmlint:single-goroutine — the schedule map and the schedules themselves
 // are unsynchronized; one goroutine owns a Hasher for its lifetime.
 type Hasher struct {
 	ks        *KeyStore
 	schedules map[packet.NodeID]*Schedule
+	epoch     uint64 // KeyStore schedule epoch the cache was filled under
 
 	// obs bindings; nil (no-op) unless Instrument was called.
-	hits   *obs.Counter
-	misses *obs.Counter
+	hits       *obs.Counter
+	misses     *obs.Counter
+	coreBuilds *obs.Counter
 }
 
 // Hasher returns a new, empty schedule cache over the store's keys. Each
@@ -138,16 +211,20 @@ func (ks *KeyStore) Hasher() *Hasher {
 	return &Hasher{ks: ks, schedules: make(map[packet.NodeID]*Schedule)}
 }
 
-// Instrument binds the cache's counters (mac.schedule.hits / .misses)
-// into reg. Call it from the owning goroutine before use.
+// Instrument binds the cache's counters (mac.schedule.hits / .misses /
+// .core_builds) into reg. Call it from the owning goroutine before use.
 func (h *Hasher) Instrument(reg *obs.Registry) {
 	h.hits = reg.Counter("mac.schedule.hits")
 	h.misses = reg.Counter("mac.schedule.misses")
+	h.coreBuilds = reg.Counter("mac.schedule.core_builds")
 }
 
-// Schedule returns node id's cached key schedule, building it on first
-// use. The cache-miss NewSchedule call is the one sanctioned allocation
-// on this path; it is NewSchedule's own, outside this body.
+// Schedule returns node id's cached key schedule, building it around the
+// store's shared core on first use. The hot path is one local map hit —
+// no lock, no allocation; the miss path's allocations are the callees'
+// (newScheduleFromCore), outside this body. A store epoch bump
+// (InvalidateSchedules) is noticed here, on the miss path, and drops the
+// local cache wholesale.
 // pnmlint:noalloc
 func (h *Hasher) Schedule(id packet.NodeID) *Schedule {
 	if s, ok := h.schedules[id]; ok {
@@ -155,7 +232,17 @@ func (h *Hasher) Schedule(id packet.NodeID) *Schedule {
 		return s
 	}
 	h.misses.Inc()
-	s := NewSchedule(h.ks.Key(id))
+	core, epoch, built := h.ks.scheduleCore(id)
+	if built {
+		h.coreBuilds.Inc()
+	}
+	if epoch != h.epoch {
+		// The store invalidated its schedules since this cache was
+		// filled: every local schedule may wrap a stale core.
+		clear(h.schedules)
+		h.epoch = epoch
+	}
+	s := newScheduleFromCore(core)
 	h.schedules[id] = s
 	return s
 }

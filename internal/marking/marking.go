@@ -147,6 +147,27 @@ func (s PNM) Mark(id packet.NodeID, key mac.Key, msg packet.Message, rng *rand.R
 	return out
 }
 
+// MarkSched is Mark on the marker's cached schedule: it draws the same
+// marking decision from rng, appends the mark to msg in place (no clone)
+// and reuses buf as MAC-input scratch, returning it for the next call —
+// the allocation-conscious path load generators drive per send. For equal
+// inputs the appended mark is byte-identical to Mark's.
+// pnmlint:noalloc
+func (s PNM) MarkSched(sched *mac.Schedule, buf []byte, msg *packet.Message, id packet.NodeID, rng *rand.Rand) []byte {
+	if rng.Float64() >= s.P {
+		return buf
+	}
+	anon := sched.AnonID(msg.Report, id)
+	var m [packet.MACLen]byte
+	m, buf = NestedMACAnonSched(sched, buf, *msg, len(msg.Marks), anon)
+	msg.Marks = append(msg.Marks, packet.Mark{
+		Anonymous: true,
+		AnonID:    anon,
+		MAC:       m,
+	})
+	return buf
+}
+
 // NaiveProbNested is the paper's "incorrect extension": probabilistic nested
 // marking with plaintext IDs. A colluding mole can read who marked and
 // selectively drop packets, steering the traceback to an innocent node.

@@ -213,3 +213,32 @@ func TestSchedVariantsMatchCold(t *testing.T) {
 		}
 	}
 }
+
+// TestPNMMarkSchedMatchesMark pins the in-place sched marking path: for
+// identical RNG streams it must make the same mark/skip decisions and
+// emit byte-identical marks to the clone-per-mark Mark path.
+func TestPNMMarkSchedMatchesMark(t *testing.T) {
+	scheme := PNM{P: 0.5}
+	rngA := rand.New(rand.NewSource(42))
+	rngB := rand.New(rand.NewSource(42))
+	hops := []packet.NodeID{9, 7, 5, 3, 2}
+
+	want := packet.Message{Report: testReport()}
+	got := packet.Message{Report: testReport()}
+	var buf []byte
+	for _, id := range hops {
+		want = scheme.Mark(id, testKS.Key(id), want, rngA)
+		buf = scheme.MarkSched(mac.NewSchedule(testKS.Key(id)), buf, &got, id, rngB)
+		if string(got.Encode(nil)) != string(want.Encode(nil)) {
+			t.Fatalf("after hop %v: MarkSched message diverged from Mark", id)
+		}
+	}
+	if len(want.Marks) == 0 || len(want.Marks) == len(hops) {
+		t.Fatalf("want a mix of marks and skips, got %d of %d", len(want.Marks), len(hops))
+	}
+
+	// The in-place path must not consume RNG draws on skip differently.
+	if a, b := rngA.Uint64(), rngB.Uint64(); a != b {
+		t.Fatalf("RNG streams diverged after marking: %d vs %d", a, b)
+	}
+}

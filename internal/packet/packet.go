@@ -229,30 +229,66 @@ type DecodeLimit struct {
 	MaxMarks int
 }
 
+// errSizeLimit builds the ErrTooLarge rejection. Hoisted out of DecodeInto
+// so the interface boxing of its arguments stays off the noalloc path.
+//
+//go:noinline
+func errSizeLimit(n, max int) error {
+	return fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, n, max)
+}
+
+// errMarkLimit builds the ErrTooManyMarks rejection, hoisted like
+// errSizeLimit.
+//
+//go:noinline
+func errMarkLimit(max int) error {
+	return fmt.Errorf("%w: limit %d", ErrTooManyMarks, max)
+}
+
 // Decode parses a full message under the limit. It rejects trailing
 // garbage and never panics on hostile input.
 func (l DecodeLimit) Decode(b []byte) (Message, error) {
+	var msg Message
+	if err := l.DecodeInto(&msg, b); err != nil {
+		return Message{}, err
+	}
+	return msg, nil
+}
+
+// DecodeInto parses a full message under the limit into msg, reusing
+// msg.Marks' capacity — the zero-copy ingest primitive. Every field of a
+// Message is a fixed-size value (the Report words, the AnonID and MAC
+// arrays), so decoding copies them out of b and retains no reference to
+// it; the caller may reuse b immediately. In steady state (msg recycled
+// across packets, mark count within capacity) DecodeInto allocates
+// nothing. On error msg holds no marks. Like Decode it rejects trailing
+// garbage and never panics on hostile input.
+// pnmlint:noalloc
+func (l DecodeLimit) DecodeInto(msg *Message, b []byte) error {
+	msg.Marks = msg.Marks[:0]
 	if l.MaxBytes > 0 && len(b) > l.MaxBytes {
-		return Message{}, fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, len(b), l.MaxBytes)
+		return errSizeLimit(len(b), l.MaxBytes)
 	}
 	rep, err := DecodeReport(b)
 	if err != nil {
-		return Message{}, err
+		return err
 	}
-	msg := Message{Report: rep}
+	msg.Report = rep
 	rest := b[ReportLen:]
 	for len(rest) > 0 {
 		if l.MaxMarks > 0 && len(msg.Marks) >= l.MaxMarks {
-			return Message{}, fmt.Errorf("%w: limit %d", ErrTooManyMarks, l.MaxMarks)
+			msg.Marks = msg.Marks[:0]
+			return errMarkLimit(l.MaxMarks)
 		}
 		mk, n, err := decodeMark(rest)
 		if err != nil {
-			return Message{}, err
+			msg.Marks = msg.Marks[:0]
+			return err
 		}
 		msg.Marks = append(msg.Marks, mk)
 		rest = rest[n:]
 	}
-	return msg, nil
+	return nil
 }
 
 // Decode parses a full message with no limits — for trusted, in-process

@@ -188,9 +188,15 @@ func (c *Cluster) Observe(batch []packet.Message) (results []Result, dropped int
 			c.dropped[i] = len(c.groups[i])
 			return
 		}
+		// One arena reset per shard per round: the previous round's
+		// Results are dead by contract (read before the next Observe),
+		// and ObserveKeep keeps this whole sub-batch's Results valid
+		// together — a per-packet Observe reset would overwrite res[0]'s
+		// chain storage while filling res[1].
+		sh.tracker.ResetVerifyScratch()
 		res := c.perRes[i][:len(c.groups[i])]
 		for j, msg := range c.groups[i] {
-			res[j] = sh.tracker.Observe(msg)
+			res[j] = sh.tracker.ObserveKeep(msg)
 		}
 	})
 	if cap(c.scratch) < len(batch) {

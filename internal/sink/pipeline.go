@@ -29,13 +29,34 @@ import (
 // folds into the tracker; the pipeline, like the tracker it wraps,
 // belongs to the sink goroutine.
 type Pipeline struct {
-	pool    *parallel.Pool[Verifier]
+	pool    *parallel.Pool[*pipeWorker]
 	tracker *Tracker
 	scratch []Result
+
+	// Per-round state the bound work function reads: the batch under
+	// verification, the result slots, and the round number each worker
+	// compares against to recycle its verifier's chain arena exactly once
+	// per round. workFn is p.work bound once, so Observe passes the same
+	// callback value to the pool every round instead of allocating a
+	// closure per batch. Pool.Do's hand-off orders these writes before
+	// the workers read them.
+	curBatch []packet.Message
+	results  []Result
+	round    uint64
+	workFn   func(*pipeWorker, int)
 
 	// obs bindings; nil (no-op) unless Instrument was called.
 	batches   *obs.Counter
 	occupancy *obs.Histogram
+}
+
+// pipeWorker is one worker's factory-owned state: its private verifier
+// chain, the VerifyScratch view of it (nil when the verifier has no chain
+// arena), and the last round it reset that arena in.
+type pipeWorker struct {
+	v     Verifier
+	rs    VerifyScratch
+	round uint64
 }
 
 // NewPipeline starts workers verification workers (<= 0 selects
@@ -43,7 +64,29 @@ type Pipeline struct {
 // that worker's private verifier chain. Results fold into tracker on the
 // calling goroutine. Close the pipeline to release the workers.
 func NewPipeline(workers int, factory func() Verifier, tracker *Tracker) *Pipeline {
-	return &Pipeline{pool: parallel.NewPool(workers, factory), tracker: tracker}
+	p := &Pipeline{tracker: tracker}
+	p.workFn = p.work
+	p.pool = parallel.NewPool(workers, func() *pipeWorker {
+		w := &pipeWorker{v: factory()}
+		w.rs, _ = w.v.(VerifyScratch)
+		return w
+	})
+	return p
+}
+
+// work verifies slot i of the current round's batch on worker w's private
+// verifier. The first slot a worker sees in a round recycles its chain
+// arena: the previous round's Results are dead by contract (read before
+// the next Observe), and every Result of the current round stays valid
+// together.
+func (p *Pipeline) work(w *pipeWorker, i int) {
+	if w.round != p.round {
+		w.round = p.round
+		if w.rs != nil {
+			w.rs.ResetVerifyScratch()
+		}
+	}
+	p.results[i] = w.v.Verify(p.curBatch[i])
 }
 
 // Workers returns the pipeline's worker count.
@@ -70,16 +113,17 @@ func (p *Pipeline) Observe(batch []packet.Message) []Result {
 	if cap(p.scratch) < len(batch) {
 		p.scratch = make([]Result, len(batch))
 	}
-	results := p.scratch[:len(batch)]
-	used := p.pool.Do(len(batch), func(v Verifier, i int) {
-		results[i] = v.Verify(batch[i])
-	})
+	p.curBatch = batch
+	p.results = p.scratch[:len(batch)]
+	p.round++
+	used := p.pool.Do(len(batch), p.workFn)
 	p.batches.Inc()
 	p.occupancy.Observe(uint64(used))
-	for i := range results {
-		p.tracker.Fold(results[i])
+	for i := range p.results {
+		p.tracker.Fold(p.results[i])
 	}
-	return results
+	p.curBatch = nil
+	return p.results
 }
 
 // Close stops the worker pool. The tracker remains usable.

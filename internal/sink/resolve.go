@@ -203,6 +203,11 @@ type TopologyResolver struct {
 	anonID anonIDFunc // test seam; nil selects the schedule-backed engine
 	// children is the routing tree's downlink adjacency, built once.
 	children map[packet.NodeID][]packet.NodeID
+	// frontier/next are the BFS level buffers, reused across Resolve
+	// calls so a steady-state resolution allocates nothing. Safe only
+	// because the type is single-goroutine (see above).
+	frontier []packet.NodeID
+	next     []packet.NodeID
 
 	// obs bindings; nil (no-op) unless Instrument was called.
 	probes     *obs.Counter
@@ -237,11 +242,16 @@ func (r *TopologyResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]
 	// BFS through the routing subtree of start, streaming matches in
 	// depth order. The expansion continues past levels whose matches the
 	// caller rejects — see the type comment on collision robustness. The
-	// two level buffers are swapped between iterations, so the initial
-	// frontier must be a copy: children's slices are shared state.
-	frontier := append([]packet.NodeID(nil), r.children[start]...)
-	var next []packet.NodeID
-	for len(frontier) > 0 {
+	// two level buffers live on the resolver and are reused across calls
+	// (their capacities converge on the widest level, after which a
+	// resolution allocates nothing); they are swapped between iterations,
+	// so the initial frontier must be a copy: children's slices are
+	// shared state. Both headers are stored back before returning — even
+	// on early accept — so growth is never lost.
+	frontier := append(r.frontier[:0], r.children[start]...)
+	next := r.next[:0]
+	done := false
+	for len(frontier) > 0 && !done {
 		next = next[:0]
 		for _, v := range frontier {
 			r.probes.Inc()
@@ -254,11 +264,13 @@ func (r *TopologyResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]
 			if a == anon {
 				r.candidates.Inc()
 				if yield(v) {
-					return
+					done = true
+					break
 				}
 			}
 			next = append(next, r.children[v]...)
 		}
 		frontier, next = next, frontier
 	}
+	r.frontier, r.next = frontier, next
 }

@@ -78,11 +78,31 @@ func (t *Tracker) Instrument(reg *obs.Registry) {
 }
 
 // Observe verifies one received packet and folds it into the route
-// reconstruction. It returns the packet's verification result.
+// reconstruction. It returns the packet's verification result, whose
+// Chain is valid until the next Observe (the verifier's chain arena is
+// recycled per packet here — callers that need a whole batch's Results
+// alive together use ObserveKeep with a per-round reset, like Cluster).
 func (t *Tracker) Observe(msg packet.Message) Result {
+	t.ResetVerifyScratch()
+	return t.ObserveKeep(msg)
+}
+
+// ObserveKeep verifies and folds one packet without recycling the
+// verifier's chain arena, so a batch caller can keep every Result of a
+// round valid together; the caller owns the reset cadence and calls
+// ResetVerifyScratch at batch boundaries.
+func (t *Tracker) ObserveKeep(msg packet.Message) Result {
 	res := t.verifier.Verify(msg)
 	t.Fold(res)
 	return res
+}
+
+// ResetVerifyScratch recycles the verifier's chain arena when it has one,
+// invalidating the Results returned since the previous reset.
+func (t *Tracker) ResetVerifyScratch() {
+	if v, ok := t.verifier.(VerifyScratch); ok {
+		v.ResetVerifyScratch()
+	}
 }
 
 // Fold records an already-verified result into the route reconstruction.
@@ -160,6 +180,9 @@ func (t *Tracker) suspects(stop packet.NodeID) []packet.NodeID {
 // TraceSinglePacket runs the basic nested-marking traceback of §4.1 on one
 // packet: verify backwards, stop at the last valid MAC.
 func TraceSinglePacket(verifier Verifier, topo *topology.Network, msg packet.Message) Verdict {
+	if v, ok := verifier.(VerifyScratch); ok {
+		v.ResetVerifyScratch()
+	}
 	res := verifier.Verify(msg)
 	var v Verdict
 	if len(res.Chain) == 0 {

@@ -37,6 +37,30 @@ type Instrumentable interface {
 	Instrument(reg *obs.Registry)
 }
 
+// VerifyScratch is implemented by verifiers whose Results alias an
+// internal chain arena instead of allocating per packet. Resetting the
+// scratch recycles the arena — and invalidates the Chain slices of every
+// Result the verifier returned since the previous reset, so it must only
+// happen at a point where those Results are dead. Tracker.Observe resets
+// before each packet (its Result is valid until the next Observe); the
+// batch paths — Pipeline, Cluster — reset once per worker round, keeping
+// a whole round's Results alive together until the next round.
+type VerifyScratch interface {
+	ResetVerifyScratch()
+}
+
+// chainRegion clips the arena region appended since start into a
+// standalone-looking slice: the capacity stops at the region's end, so a
+// caller append cannot write into the arena, and later arena appends
+// land beyond it. An empty region yields nil, matching what chain-
+// collecting code built before the arena existed.
+func chainRegion(arena []packet.NodeID, start int) []packet.NodeID {
+	if start == len(arena) {
+		return nil
+	}
+	return arena[start:len(arena):len(arena)]
+}
+
 // NewVerifier returns the verifier matching a marking scheme. numNodes
 // bounds the valid plaintext ID range; resolver is required for PNM.
 func NewVerifier(s marking.Scheme, keys *mac.KeyStore, numNodes int, resolver Resolver) (Verifier, error) {
@@ -80,6 +104,12 @@ type NestedVerifier struct {
 	// verifiers literally.
 	hasher *mac.Hasher
 	encBuf []byte
+
+	// chains is the Result.Chain arena: Verify appends each packet's
+	// accepted ids here and returns a capacity-clipped region, so the
+	// steady-state verify path allocates nothing per packet. See
+	// VerifyScratch for the recycling contract.
+	chains []packet.NodeID
 
 	// resolveFn is v.resolveProbe bound once (lazily, in Verify) so
 	// anonymous-mark resolution passes the same callback value to the
@@ -128,29 +158,41 @@ func (v *NestedVerifier) Instrument(reg *obs.Registry) {
 	}
 }
 
-// Verify implements Verifier.
+// ResetVerifyScratch implements VerifyScratch: it recycles the chain
+// arena, invalidating every Result returned since the previous reset.
+func (v *NestedVerifier) ResetVerifyScratch() { v.chains = v.chains[:0] }
+
+// Verify implements Verifier. The Result's Chain aliases the verifier's
+// arena: it stays valid until ResetVerifyScratch.
+// pnmlint:noalloc
 func (v *NestedVerifier) Verify(msg packet.Message) Result {
 	v.packets.Inc()
 	if v.resolver != nil && v.resolveFn == nil {
 		// One-time method-value allocation, kept out of the noalloc
 		// kernels below.
-		v.resolveFn = v.resolveProbe
+		v.bindResolveFn()
 	}
-	var chain []packet.NodeID
+	start := len(v.chains)
 	prev := packet.SinkID
 	havePrev := false
 	for k := len(msg.Marks) - 1; k >= 0; k-- {
 		id, ok := v.verifyMark(msg, k, prev, havePrev)
 		if !ok {
 			v.stops.Inc()
-			return Result{Chain: reverse(chain), Stopped: true}
+			return Result{Chain: reverse(chainRegion(v.chains, start)), Stopped: true}
 		}
 		v.marksVerified.Inc()
-		chain = append(chain, id)
+		v.chains = append(v.chains, id)
 		prev, havePrev = id, true
 	}
-	return Result{Chain: reverse(chain)}
+	return Result{Chain: reverse(chainRegion(v.chains, start))}
 }
+
+// bindResolveFn allocates the one-time resolver callback method value,
+// hoisted out of Verify's noalloc body.
+//
+//go:noinline
+func (v *NestedVerifier) bindResolveFn() { v.resolveFn = v.resolveProbe }
 
 // verifyMark checks the mark at position k and returns the marker's real ID.
 // It recomputes one HMAC per plaintext mark and one per anonymous-resolution
@@ -208,9 +250,10 @@ type AMSVerifier struct {
 	keys     *mac.KeyStore
 	numNodes int
 
-	// hasher and encBuf: see NestedVerifier.
+	// hasher, encBuf and chains: see NestedVerifier.
 	hasher *mac.Hasher
 	encBuf []byte
+	chains []packet.NodeID
 
 	// obs bindings; nil (no-op) unless Instrument was called.
 	packets       *obs.Counter
@@ -219,6 +262,9 @@ type AMSVerifier struct {
 
 // Name implements Verifier.
 func (v *AMSVerifier) Name() string { return "ams" }
+
+// ResetVerifyScratch implements VerifyScratch; see NestedVerifier.
+func (v *AMSVerifier) ResetVerifyScratch() { v.chains = v.chains[:0] }
 
 // Instrument binds the verifier's metrics into reg, so pnmsim -stats and
 // the netsim registry cover the AMS baseline like the nested schemes.
@@ -231,31 +277,43 @@ func (v *AMSVerifier) Instrument(reg *obs.Registry) {
 	v.hasher.Instrument(reg)
 }
 
-// Verify implements Verifier.
+// Verify implements Verifier. The Result's Chain aliases the verifier's
+// arena: it stays valid until ResetVerifyScratch.
+// pnmlint:noalloc
 func (v *AMSVerifier) Verify(msg packet.Message) Result {
 	v.packets.Inc()
-	var chain []packet.NodeID
+	if v.hasher == nil {
+		// One-time hasher construction, kept out of the noalloc loop.
+		v.ensureHasher()
+	}
+	start := len(v.chains)
 	for _, mk := range msg.Marks {
 		if mk.Anonymous || mk.ID == packet.SinkID || int(mk.ID) > v.numNodes {
 			continue
-		}
-		if v.hasher == nil {
-			v.hasher = v.keys.Hasher()
 		}
 		var want [packet.MACLen]byte
 		want, v.encBuf = marking.AMSMACSched(v.hasher.Schedule(mk.ID), v.encBuf, msg.Report, mk.ID)
 		if mac.Equal(mk.MAC, want) {
 			v.marksVerified.Inc()
-			chain = append(chain, mk.ID)
+			v.chains = append(v.chains, mk.ID)
 		}
 	}
-	return Result{Chain: chain}
+	return Result{Chain: chainRegion(v.chains, start)}
 }
+
+// ensureHasher lazily builds the per-verifier hasher, hoisted out of
+// Verify's noalloc body.
+//
+//go:noinline
+func (v *AMSVerifier) ensureHasher() { v.hasher = v.keys.Hasher() }
 
 // PPMVerifier accepts plaintext marks at face value — the Internet
 // schemes' trust assumption, kept as the weakest baseline.
 type PPMVerifier struct {
 	numNodes int
+
+	// chains: see NestedVerifier.
+	chains []packet.NodeID
 
 	// obs bindings; nil (no-op) unless Instrument was called.
 	packets       *obs.Counter
@@ -265,6 +323,9 @@ type PPMVerifier struct {
 // Name implements Verifier.
 func (v *PPMVerifier) Name() string { return "ppm" }
 
+// ResetVerifyScratch implements VerifyScratch; see NestedVerifier.
+func (v *PPMVerifier) ResetVerifyScratch() { v.chains = v.chains[:0] }
+
 // Instrument binds the verifier's metrics into reg. PPM checks no MACs,
 // so marks_verified counts marks accepted at face value.
 func (v *PPMVerifier) Instrument(reg *obs.Registry) {
@@ -272,18 +333,20 @@ func (v *PPMVerifier) Instrument(reg *obs.Registry) {
 	v.marksVerified = reg.Counter("sink.verify.marks_verified")
 }
 
-// Verify implements Verifier.
+// Verify implements Verifier. The Result's Chain aliases the verifier's
+// arena: it stays valid until ResetVerifyScratch.
+// pnmlint:noalloc
 func (v *PPMVerifier) Verify(msg packet.Message) Result {
 	v.packets.Inc()
-	var chain []packet.NodeID
+	start := len(v.chains)
 	for _, mk := range msg.Marks {
 		if mk.Anonymous || mk.ID == packet.SinkID || int(mk.ID) > v.numNodes {
 			continue
 		}
 		v.marksVerified.Inc()
-		chain = append(chain, mk.ID)
+		v.chains = append(v.chains, mk.ID)
 	}
-	return Result{Chain: chain}
+	return Result{Chain: chainRegion(v.chains, start)}
 }
 
 // reverse flips a chain collected back-to-front into forwarding order.

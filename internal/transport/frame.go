@@ -46,6 +46,13 @@ const (
 	DefaultMaxMarks = 512
 )
 
+// steadyPayloadBytes is the payload capacity a FrameReader retains across
+// frames. Honest traffic — a report plus a full routing path of marks —
+// is well under this; a near-MaxFrameBytes frame still decodes, but its
+// buffer is transient, so one oversized frame cannot pin 64 KiB per
+// connection for the connection's lifetime.
+const steadyPayloadBytes = 4 << 10
+
 // Limits bounds what the frame layer accepts from a peer.
 type Limits struct {
 	// MaxFrameBytes rejects frames whose payload exceeds this; <= 0
@@ -89,6 +96,48 @@ var (
 	ErrBadPayload = errors.New("transport: bad frame payload")
 )
 
+// Frame error constructors, hoisted out of the noalloc-annotated decode
+// bodies so the fmt boxing of their arguments stays off the per-frame
+// path (errors never reach steady state; the happy path calls none of
+// these).
+//
+//go:noinline
+func errHeaderIO(err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("transport: frame header: %w", err)
+}
+
+//go:noinline
+func errPayloadIO(err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("transport: frame payload: %w", err)
+}
+
+//go:noinline
+func errVersion(v byte) error { return fmt.Errorf("%w: %d", ErrBadVersion, v) }
+
+//go:noinline
+func errType(t byte) error { return fmt.Errorf("%w: %d", ErrBadType, t) }
+
+//go:noinline
+func errTooBig(n, max int) error {
+	return fmt.Errorf("%w: %d > %d bytes", ErrFrameTooBig, n, max)
+}
+
+//go:noinline
+func errPayload(err error) error {
+	return fmt.Errorf("%w: %v", ErrBadPayload, err)
+}
+
+//go:noinline
+func errDatagramLen(got, claimed int) error {
+	return fmt.Errorf("transport: datagram length %d, header claims %d", got, claimed)
+}
+
 // Recoverable reports whether a FrameReader.Next error allows reading the
 // following frame: the framing survived, only the payload was rejected.
 func Recoverable(err error) bool {
@@ -111,11 +160,12 @@ func AppendFrame(dst []byte, msg packet.Message) []byte {
 }
 
 // FrameReader decodes a stream of frames under the given limits. It is a
-// single-goroutine object (one per connection) reusing one payload
-// buffer across frames.
+// single-goroutine object (one per connection) reusing one header and
+// one payload buffer across frames.
 type FrameReader struct {
 	br      *bufio.Reader
 	limits  Limits
+	hdr     [FrameHeaderLen]byte
 	payload []byte
 }
 
@@ -124,89 +174,114 @@ func NewFrameReader(r io.Reader, limits Limits) *FrameReader {
 	return &FrameReader{br: bufio.NewReader(r), limits: limits.withDefaults()}
 }
 
-// Next reads one frame and decodes its message. io.EOF cleanly between
+// Next reads one frame and decodes its message into msg, reusing msg's
+// mark storage (packet.DecodeLimit.DecodeInto). io.EOF cleanly between
 // frames means the stream ended; any other error classifies via
-// Recoverable. The returned message owns its memory (mark storage is not
-// shared with the reader's buffer).
-func (fr *FrameReader) Next() (packet.Message, error) {
-	var hdr [FrameHeaderLen]byte
-	if _, err := io.ReadFull(fr.br, hdr[:1]); err != nil {
+// Recoverable, and msg holds no marks. The decoded message owns its
+// memory — nothing in it aliases the reader's buffers, so the caller may
+// hand msg off and keep reading. In steady state (payloads within
+// steadyPayloadBytes, mark count within msg's capacity) Next allocates
+// nothing per frame.
+// pnmlint:noalloc
+func (fr *FrameReader) Next(msg *packet.Message) error {
+	if _, err := io.ReadFull(fr.br, fr.hdr[:1]); err != nil {
 		if err == io.EOF {
-			return packet.Message{}, io.EOF
+			return io.EOF
 		}
-		return packet.Message{}, fmt.Errorf("transport: frame header: %w", err)
+		return errHeaderIO(err)
 	}
-	if _, err := io.ReadFull(fr.br, hdr[1:]); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return packet.Message{}, fmt.Errorf("transport: frame header: %w", err)
+	if _, err := io.ReadFull(fr.br, fr.hdr[1:]); err != nil {
+		return errHeaderIO(err)
 	}
-	msg, _, err := fr.decodeAfterHeader(hdr)
-	return msg, err
+	_, err := fr.decodeAfterHeader(msg)
+	return err
 }
 
-// decodeAfterHeader validates a complete header and reads + decodes the
-// payload, returning the consumed payload length for accounting.
-func (fr *FrameReader) decodeAfterHeader(hdr [FrameHeaderLen]byte) (packet.Message, int, error) {
-	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
-		return packet.Message{}, 0, ErrBadMagic
+// decodeAfterHeader validates the header in fr.hdr and reads + decodes
+// the payload into msg, returning the consumed payload length for
+// accounting.
+// pnmlint:noalloc
+func (fr *FrameReader) decodeAfterHeader(msg *packet.Message) (int, error) {
+	if binary.BigEndian.Uint16(fr.hdr[0:]) != frameMagic {
+		return 0, ErrBadMagic
 	}
-	if hdr[2] != FrameVersion {
-		return packet.Message{}, 0, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
+	if fr.hdr[2] != FrameVersion {
+		return 0, errVersion(fr.hdr[2])
 	}
-	if hdr[3] != FrameReport {
-		return packet.Message{}, 0, fmt.Errorf("%w: %d", ErrBadType, hdr[3])
+	if fr.hdr[3] != FrameReport {
+		return 0, errType(fr.hdr[3])
 	}
-	n := int(binary.BigEndian.Uint32(hdr[4:]))
+	n := int(binary.BigEndian.Uint32(fr.hdr[4:]))
 	if n > fr.limits.MaxFrameBytes {
-		return packet.Message{}, 0, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooBig, n, fr.limits.MaxFrameBytes)
+		return 0, errTooBig(n, fr.limits.MaxFrameBytes)
+	}
+	buf := fr.payloadBuf(n)
+	if _, err := io.ReadFull(fr.br, buf); err != nil {
+		return n, errPayloadIO(err)
+	}
+	if err := fr.limits.decodeLimit().DecodeInto(msg, buf); err != nil {
+		// The frame boundary held; only the contents are rejected.
+		return n, errPayload(err)
+	}
+	return n, nil
+}
+
+// payloadBuf returns an n-byte read buffer. Payloads up to
+// steadyPayloadBytes share one retained buffer; larger ones get a
+// transient allocation, so cap(fr.payload) never exceeds the steady cap
+// no matter what frame sizes a peer sends. Not inlined: its growth and
+// oversize allocations must not land inside callers' noalloc ranges
+// (the steady state allocates nothing).
+//
+//go:noinline
+func (fr *FrameReader) payloadBuf(n int) []byte {
+	if n > steadyPayloadBytes {
+		return make([]byte, n)
 	}
 	if cap(fr.payload) < n {
-		fr.payload = make([]byte, n)
+		fr.payload = make([]byte, steadyPayloadBytes)
 	}
-	buf := fr.payload[:n]
-	if _, err := io.ReadFull(fr.br, buf); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return packet.Message{}, 0, fmt.Errorf("transport: frame payload: %w", err)
-	}
-	msg, err := fr.limits.decodeLimit().Decode(buf)
-	if err != nil {
-		// The frame boundary held; only the contents are rejected.
-		return packet.Message{}, n, fmt.Errorf("%w: %v", ErrBadPayload, err)
-	}
-	return msg, n, nil
+	return fr.payload[:n]
 }
 
 // DecodeDatagram decodes one datagram carrying exactly one frame — the
 // UDP ingest path. Every error is per-datagram (there is no stream to
 // corrupt), so callers count and continue.
 func DecodeDatagram(b []byte, limits Limits) (packet.Message, error) {
+	var msg packet.Message
+	if err := DecodeDatagramInto(&msg, b, limits); err != nil {
+		return packet.Message{}, err
+	}
+	return msg, nil
+}
+
+// DecodeDatagramInto is DecodeDatagram decoding into a caller-owned
+// message, reusing its mark storage — the zero-copy UDP read-loop path.
+// Nothing in msg aliases b after return; on error msg holds no marks.
+// pnmlint:noalloc
+func DecodeDatagramInto(msg *packet.Message, b []byte, limits Limits) error {
 	limits = limits.withDefaults()
 	if len(b) < FrameHeaderLen {
-		return packet.Message{}, fmt.Errorf("transport: datagram header: %w", io.ErrUnexpectedEOF)
+		return errHeaderIO(io.ErrUnexpectedEOF)
 	}
 	if binary.BigEndian.Uint16(b[0:]) != frameMagic {
-		return packet.Message{}, ErrBadMagic
+		return ErrBadMagic
 	}
 	if b[2] != FrameVersion {
-		return packet.Message{}, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+		return errVersion(b[2])
 	}
 	if b[3] != FrameReport {
-		return packet.Message{}, fmt.Errorf("%w: %d", ErrBadType, b[3])
+		return errType(b[3])
 	}
 	n := int(binary.BigEndian.Uint32(b[4:]))
 	if n > limits.MaxFrameBytes {
-		return packet.Message{}, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooBig, n, limits.MaxFrameBytes)
+		return errTooBig(n, limits.MaxFrameBytes)
 	}
 	if n != len(b)-FrameHeaderLen {
-		return packet.Message{}, fmt.Errorf("transport: datagram length %d, header claims %d", len(b)-FrameHeaderLen, n)
+		return errDatagramLen(len(b)-FrameHeaderLen, n)
 	}
-	msg, err := limits.decodeLimit().Decode(b[FrameHeaderLen:])
-	if err != nil {
-		return packet.Message{}, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	if err := limits.decodeLimit().DecodeInto(msg, b[FrameHeaderLen:]); err != nil {
+		return errPayload(err)
 	}
-	return msg, nil
+	return nil
 }

@@ -44,16 +44,16 @@ func TestFrameRoundTrip(t *testing.T) {
 		stream = AppendFrame(stream, msg)
 	}
 	fr := NewFrameReader(bytes.NewReader(stream), Limits{})
+	var got packet.Message // reused across frames, like the read loop does
 	for i, w := range want {
-		got, err := fr.Next()
-		if err != nil {
+		if err := fr.Next(&got); err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
 		if !bytes.Equal(got.Encode(nil), w.Encode(nil)) {
 			t.Fatalf("frame %d round trip differs", i)
 		}
 	}
-	if _, err := fr.Next(); err != io.EOF {
+	if err := fr.Next(&got); err != io.EOF {
 		t.Fatalf("want io.EOF at stream end, got %v", err)
 	}
 }
@@ -142,7 +142,8 @@ func TestFrameReaderHostileInput(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			fr := NewFrameReader(bytes.NewReader(tt.give), tt.limits)
-			_, err := fr.Next()
+			var msg packet.Message
+			err := fr.Next(&msg)
 			if err == nil {
 				t.Fatal("want error")
 			}
@@ -151,6 +152,9 @@ func TestFrameReaderHostileInput(t *testing.T) {
 			}
 			if got := Recoverable(err); got != tt.recoverable {
 				t.Fatalf("Recoverable = %v, want %v", got, tt.recoverable)
+			}
+			if len(msg.Marks) != 0 {
+				t.Fatalf("rejected frame left %d marks in msg", len(msg.Marks))
 			}
 		})
 	}
@@ -164,11 +168,11 @@ func TestFrameReaderRecoversAfterBadPayload(t *testing.T) {
 	})
 	stream = AppendFrame(stream, good)
 	fr := NewFrameReader(bytes.NewReader(stream), Limits{})
-	if _, err := fr.Next(); !Recoverable(err) {
+	var got packet.Message
+	if err := fr.Next(&got); !Recoverable(err) {
 		t.Fatalf("first frame: want recoverable error, got %v", err)
 	}
-	got, err := fr.Next()
-	if err != nil {
+	if err := fr.Next(&got); err != nil {
 		t.Fatalf("second frame: %v", err)
 	}
 	if got.Report != good.Report {

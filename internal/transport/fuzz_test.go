@@ -32,8 +32,9 @@ func FuzzFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		limits := Limits{MaxFrameBytes: 1 << 12, MaxMarks: 16}
 		fr := NewFrameReader(bytes.NewReader(data), limits)
+		var msg packet.Message // reused across frames, like the read loop does
 		for i := 0; i < 1000; i++ {
-			msg, err := fr.Next()
+			err := fr.Next(&msg)
 			if err == io.EOF {
 				break
 			}

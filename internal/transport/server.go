@@ -115,9 +115,10 @@ type ChaosPlan struct {
 }
 
 // item is one ingested message annotated with its enqueue instant, so
-// the sink goroutine can histogram queue-to-fold latency.
+// the sink goroutine can histogram queue-to-fold latency. The message is
+// pooled: see Server.msgs for the ownership rule.
 type item struct {
-	msg packet.Message
+	msg *packet.Message
 	at  int64 // UnixNano at enqueue
 }
 
@@ -216,6 +217,19 @@ type Server struct {
 	wg     sync.WaitGroup
 	c      counters
 
+	// msgs pools the *packet.Message values flowing reader → queue →
+	// sink, so steady-state ingest recycles mark storage instead of
+	// allocating per frame. Ownership rule (see DESIGN.md §13): exactly
+	// one goroutine owns a pooled message at any instant. A reader owns
+	// what it got from the pool until enqueue returns; a true return
+	// transfers ownership to the queue (or, under DropNewest, the message
+	// was already released), false means enqueue released it. The sink
+	// goroutine owns everything it dequeues and releases the whole batch
+	// after fold returns — the verifiers copy what they keep, so nothing
+	// downstream aliases a released message. Close releases what it
+	// drains. The pool itself is concurrency-safe; the messages are not.
+	msgs sync.Pool
+
 	// connMu guards the live connection set, so Close can unblock
 	// readers, and the MaxConns bound.
 	connMu sync.Mutex
@@ -226,14 +240,15 @@ type Server struct {
 	// the same discipline netsim.Network uses), the pipeline, the
 	// delivered count and the progress broadcast channel.
 	mu          sync.Mutex
-	tracker     *sink.Tracker  // pnmlint:guarded-by mu
-	pipe        *sink.Pipeline // pnmlint:guarded-by mu
-	cluster     *sink.Cluster  // pnmlint:guarded-by mu
-	down        bool           // pnmlint:guarded-by mu
-	ckpt        []byte         // pnmlint:guarded-by mu
-	shardCkpts  [][]byte       // pnmlint:guarded-by mu
-	delivered   int            // pnmlint:guarded-by mu
-	deliveredCh chan struct{}  // pnmlint:guarded-by mu
+	tracker     *sink.Tracker    // pnmlint:guarded-by mu
+	pipe        *sink.Pipeline   // pnmlint:guarded-by mu
+	cluster     *sink.Cluster    // pnmlint:guarded-by mu
+	down        bool             // pnmlint:guarded-by mu
+	ckpt        []byte           // pnmlint:guarded-by mu
+	shardCkpts  [][]byte         // pnmlint:guarded-by mu
+	delivered   int              // pnmlint:guarded-by mu
+	deliveredCh chan struct{}    // pnmlint:guarded-by mu
+	foldMsgs    []packet.Message // pnmlint:guarded-by mu
 
 	closeOnce sync.Once
 	drainOnce sync.Once
@@ -349,6 +364,36 @@ func clusterFactory(cfg Config) func() sink.Verifier {
 	}
 }
 
+// getMsg takes a message from the pool; the caller owns it until it
+// hands it to enqueue or releases it with putMsg.
+func (s *Server) getMsg() *packet.Message {
+	if m, ok := s.msgs.Get().(*packet.Message); ok {
+		return m
+	}
+	return new(packet.Message)
+}
+
+// putMsg releases a message back to the pool (nil is a no-op). The mark
+// storage is kept — its capacity is what steady-state ingest reuses —
+// and is bounded by Limits.MaxMarks, so a pooled message can never pin
+// more than one hostile frame's worth of marks.
+func (s *Server) putMsg(m *packet.Message) {
+	if m == nil {
+		return
+	}
+	m.Marks = m.Marks[:0]
+	s.msgs.Put(m)
+}
+
+// releaseBatch returns every message in a folded (or dropped) batch to
+// the pool — the sink goroutine's half of the ownership hand-off.
+func (s *Server) releaseBatch(batch []item) {
+	for i := range batch {
+		s.putMsg(batch[i].msg)
+		batch[i].msg = nil
+	}
+}
+
 // Addr returns the TCP listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
@@ -448,23 +493,30 @@ func (s *Server) readLoop(conn net.Conn) {
 		conn.Close()
 	}()
 	fr := NewFrameReader(conn, s.cfg.Limits)
+	msg := s.getMsg()
+	defer func() {
+		if msg != nil {
+			s.putMsg(msg)
+		}
+	}()
 	for {
-		msg, err := fr.Next()
-		if err != nil {
+		if err := fr.Next(msg); err != nil {
 			if err == io.EOF {
 				return
 			}
 			s.c.countDecodeErr(err)
 			if Recoverable(err) {
-				continue
+				continue // msg holds no marks; reuse it for the next frame
 			}
 			return
 		}
 		s.c.frames.Inc()
 		s.c.bytes.Add(uint64(FrameHeaderLen + msg.WireSize()))
 		if !s.enqueue(msg) {
-			return // server stopping
+			msg = nil // enqueue released it
+			return    // server stopping
 		}
+		msg = s.getMsg()
 	}
 }
 
@@ -475,6 +527,12 @@ func (s *Server) readLoop(conn net.Conn) {
 func (s *Server) udpLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, s.cfg.Limits.MaxFrameBytes+FrameHeaderLen)
+	msg := s.getMsg()
+	defer func() {
+		if msg != nil {
+			s.putMsg(msg)
+		}
+	}()
 	delay := time.Millisecond
 	for {
 		n, _, err := s.udp.ReadFrom(buf)
@@ -503,20 +561,24 @@ func (s *Server) udpLoop() {
 		delay = time.Millisecond
 		s.c.udpDatagrams.Inc()
 		s.c.udpBytes.Add(uint64(n))
-		msg, err := DecodeDatagram(buf[:n], s.cfg.Limits)
-		if err != nil {
+		if err := DecodeDatagramInto(msg, buf[:n], s.cfg.Limits); err != nil {
 			s.c.countDecodeErr(err)
-			continue
+			continue // msg holds no marks; reuse it for the next datagram
 		}
 		if !s.enqueue(msg) {
+			msg = nil // enqueue released it
 			return
 		}
+		msg = s.getMsg()
 	}
 }
 
 // enqueue applies the configured overflow policy to a full ingest queue.
-// It returns false only when the server is stopping.
-func (s *Server) enqueue(msg packet.Message) bool {
+// It returns false only when the server is stopping. Ownership: a true
+// return means the queue took msg (or, under DropNewest, enqueue already
+// released it); a false return means enqueue released it. Either way the
+// caller must not touch msg again.
+func (s *Server) enqueue(msg *packet.Message) bool {
 	//pnmlint:allow wallclock ingest latency observability, never reaches verdicts
 	it := item{msg: msg, at: time.Now().UnixNano()}
 	select {
@@ -527,6 +589,7 @@ func (s *Server) enqueue(msg packet.Message) bool {
 	switch s.cfg.Policy {
 	case queue.DropNewest:
 		s.c.queueDropNewest.Inc()
+		s.putMsg(msg)
 		return true
 	case queue.DropOldest:
 		for {
@@ -537,12 +600,14 @@ func (s *Server) enqueue(msg packet.Message) bool {
 			select {
 			case <-s.stop:
 				s.c.droppedOnClose.Inc()
+				s.putMsg(msg)
 				return false
 			default:
 			}
 			select {
-			case <-s.ingest:
+			case old := <-s.ingest:
 				s.c.queueDropOldest.Inc()
+				s.putMsg(old.msg)
 			default:
 				// The sink drained it first; either way there is room now —
 				// unless another reader raced in, then evict again.
@@ -552,6 +617,7 @@ func (s *Server) enqueue(msg packet.Message) bool {
 				return true
 			case <-s.stop:
 				s.c.droppedOnClose.Inc()
+				s.putMsg(msg)
 				return false
 			default:
 			}
@@ -563,6 +629,7 @@ func (s *Server) enqueue(msg packet.Message) bool {
 			return true
 		case <-s.stop:
 			s.c.droppedOnClose.Inc()
+			s.putMsg(msg)
 			return false
 		}
 	}
@@ -612,6 +679,7 @@ func (s *Server) sinkLoop() {
 			}
 			processed += len(batch)
 			s.fold(batch)
+			s.releaseBatch(batch)
 			for s.cfg.Chaos != nil && chaos < len(s.cfg.Chaos.Events) &&
 				processed >= s.cfg.Chaos.Events[chaos].At {
 				s.applyChaos(s.cfg.Chaos.Events[chaos])
@@ -630,13 +698,21 @@ func (s *Server) fold(batch []item) {
 		return
 	}
 	delivered := len(batch)
+	if s.cluster != nil || s.pipe != nil {
+		// Flatten the pooled-item batch into the reusable message slice
+		// the pipeline and cluster Observe. The Message headers are
+		// copied; the mark storage still belongs to the pooled messages,
+		// which stay owned by the sink goroutine until releaseBatch —
+		// Observe has returned by then, so no worker reads a released
+		// message.
+		s.foldMsgs = s.foldMsgs[:0]
+		for i := range batch {
+			s.foldMsgs = append(s.foldMsgs, *batch[i].msg)
+		}
+	}
 	switch {
 	case s.cluster != nil:
-		msgs := make([]packet.Message, len(batch))
-		for i := range batch {
-			msgs[i] = batch[i].msg
-		}
-		_, dropped := s.cluster.Observe(msgs)
+		_, dropped := s.cluster.Observe(s.foldMsgs)
 		if dropped > 0 {
 			// A crashed shard's share of the batch: the sink is up, the
 			// failure domain is one shard wide.
@@ -644,14 +720,10 @@ func (s *Server) fold(batch []item) {
 			delivered -= dropped
 		}
 	case s.pipe != nil:
-		msgs := make([]packet.Message, len(batch))
-		for i := range batch {
-			msgs[i] = batch[i].msg
-		}
-		s.pipe.Observe(msgs)
+		s.pipe.Observe(s.foldMsgs)
 	default:
 		for i := range batch {
-			s.tracker.Observe(batch[i].msg)
+			s.tracker.Observe(*batch[i].msg)
 		}
 	}
 	//pnmlint:allow wallclock ingest latency observability, never reaches verdicts
@@ -822,8 +894,9 @@ func (s *Server) Close() {
 	drain:
 		for {
 			select {
-			case <-s.ingest:
+			case it := <-s.ingest:
 				undelivered++
+				s.putMsg(it.msg)
 			default:
 				break drain
 			}

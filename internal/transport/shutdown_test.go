@@ -98,7 +98,7 @@ func TestDropOldestEnqueueReturnsAfterStop(t *testing.T) {
 		readers.Add(1)
 		go func() {
 			defer readers.Done()
-			for s.enqueue(packet.Message{}) {
+			for s.enqueue(&packet.Message{}) {
 			}
 		}()
 	}
