@@ -6,7 +6,7 @@ GO ?= go
 # GOMAXPROCS. Results are byte-identical for every value.
 WORKERS ?= 0
 
-.PHONY: all build test race vet lint bench bench-resolver bench-sink bench-fault bench-shard bench-scale fuzz-smoke soak ci figures examples clean
+.PHONY: all build test race vet lint bench bench-resolver bench-sink bench-fault bench-shard bench-scale bench-churn fuzz-smoke soak ci figures examples clean
 
 all: build test
 
@@ -76,6 +76,15 @@ bench-shard:
 # recorded gomaxprocs.
 bench-scale:
 	$(GO) run ./cmd/pnmsim -exp benchscale > BENCH_scale.json
+
+# Regenerate the committed churn benchmark (E23): traceback under
+# topology churn with epoch-versioned resolution. Fully deterministic
+# apart from the two wall-clock columns; mole capture at every churn
+# level, stale-resolver divergence on churned rows, and verdict-hash
+# equality with a full-rebuild reference are all enforced at generation
+# time.
+bench-churn:
+	$(GO) run ./cmd/pnmsim -exp benchchurn > BENCH_churn.json
 
 # Short coverage-guided fuzzing over the trust boundary: the hardened
 # packet decoder and the frame reader that feeds it untrusted socket

@@ -214,7 +214,7 @@ func BenchmarkAnonTableBuild(b *testing.B) {
 		// A fresh report defeats the cache, forcing a full table build.
 		rep := packet.Report{Event: 1, Seq: uint32(i + 1)}
 		anon := mac.AnonID(keys.Key(nodes[0]), rep, nodes[0])
-		sink.ResolveAll(resolver, rep, anon, 0, false)
+		sink.ResolveAll(resolver, rep, anon, 0, false, 0)
 	}
 }
 

@@ -2,14 +2,14 @@
 //
 // Usage:
 //
-//	pnmsim -exp fig4|fig5|fig6|fig7|matrix|headline|ablate|resolve|benchresolver|benchsink|benchfault|benchshard|benchscale|filter [flags]
+//	pnmsim -exp fig4|fig5|fig6|fig7|matrix|headline|ablate|resolve|benchresolver|benchsink|benchfault|benchshard|benchscale|benchchurn|filter [flags]
 //
 // Output is CSV for the figure experiments (pipe into a plotter), an
 // aligned text table for the tabular ones, or JSON for benchresolver,
-// benchsink, benchfault, benchshard and benchscale (redirect into
-// BENCH_resolver.json / BENCH_sink.json / BENCH_fault.json /
-// BENCH_shard.json / BENCH_scale.json). -plot renders a crude ASCII plot
-// instead of CSV. -stats dumps the sink chain's obs counters to stderr
+// benchsink, benchfault, benchshard, benchscale and benchchurn (redirect
+// into BENCH_resolver.json / BENCH_sink.json / BENCH_fault.json /
+// BENCH_shard.json / BENCH_scale.json / BENCH_churn.json). -plot renders
+// a crude ASCII plot instead of CSV. -stats dumps the sink chain's obs counters to stderr
 // after instrumented experiments (resolve).
 //
 // Run-averaged experiments fan their independent runs across -workers
@@ -42,7 +42,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pnmsim", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, matrix, headline, ablate, resolve, benchresolver, benchsink, benchfault, benchshard, benchscale, filter, related, precision, overhead, multisource, background, dynamics, molepos")
+		exp     = fs.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, matrix, headline, ablate, resolve, benchresolver, benchsink, benchfault, benchshard, benchscale, benchchurn, filter, related, precision, overhead, multisource, background, dynamics, molepos")
 		runs    = fs.Int("runs", 0, "override the run count (0 = experiment default)")
 		seed    = fs.Int64("seed", 0, "override the RNG seed (0 = experiment default)")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for run-parallel experiments (<= 0 = GOMAXPROCS); results are identical for every value")
@@ -206,6 +206,26 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		doc, err := experiment.RenderShardBench(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, doc)
+		return nil
+	case "benchchurn":
+		// Traceback under topology churn with epoch-versioned resolution
+		// (E23): packets-to-catch and reconstruction cost per churn level,
+		// stale-resolver divergence counts, and a full-rebuild reference
+		// whose verdict-hash equality with the incremental tracker is
+		// enforced at generation time.
+		cfg := experiment.DefaultChurnBench()
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		res, err := experiment.ChurnBench(cfg)
+		if err != nil {
+			return err
+		}
+		doc, err := experiment.RenderChurnBench(res)
 		if err != nil {
 			return err
 		}

@@ -197,6 +197,7 @@ var DeterministicPackages = []string{
 	"internal/queue",
 	"internal/loadgen",
 	"internal/transport",
+	"internal/topology",
 }
 
 // DefaultAnalyzers returns the standard pnm analyzer suite for a module.

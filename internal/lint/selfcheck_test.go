@@ -177,6 +177,8 @@ func TestNoallocHotPathsAnnotated(t *testing.T) {
 		"pnm/internal/sink.NestedVerifier.verifyMark",
 		"pnm/internal/sink.NestedVerifier.resolveProbe",
 		"pnm/internal/sink.NestedVerifier.Verify",
+		"pnm/internal/sink.NestedVerifier.VerifyAt",
+		"pnm/internal/sink.Order.addEdge",
 		"pnm/internal/sink.AMSVerifier.Verify",
 		"pnm/internal/sink.PPMVerifier.Verify",
 		"pnm/internal/packet.DecodeLimit.DecodeInto",

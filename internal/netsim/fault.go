@@ -572,6 +572,10 @@ func (n *Network) recomputeRoutesLocked() {
 	n.stateMu.Lock()
 	n.routes = next
 	n.stateMu.Unlock()
+	// Every repair opens a new topology epoch: packets already queued keep
+	// the epoch they arrived under, packets delivered from here on stamp
+	// the new version and resolve against the repaired tree.
+	n.epochs.Advance(next)
 	n.obsFault.reroutes.Inc()
 }
 

@@ -113,10 +113,14 @@ type Config struct {
 	Obs *obs.Registry
 }
 
-// transmission is one radio frame in flight.
+// transmission is one radio frame in flight. epoch is meaningful only on
+// the final sink hop: deliver stamps it with the topology epoch current
+// at arrival, and the sink loops hand it to verification so marks resolve
+// against the tree the packet was forwarded under.
 type transmission struct {
-	from packet.NodeID
-	msg  packet.Message
+	from  packet.NodeID
+	msg   packet.Message
+	epoch topology.EpochVersion
 }
 
 // Network is a running simulation. Always Close it.
@@ -146,6 +150,12 @@ type Network struct {
 	nodeDown map[packet.NodeID]bool
 	sinkDown bool
 	routes   *topology.Network
+
+	// epochs is the append-only topology history shared with every
+	// topology resolver; internally synchronized, so it needs no lock
+	// here. Route repairs append under faultMu; packets read Current at
+	// sink arrival.
+	epochs *topology.EpochSet
 
 	// faultMu serializes fault application (fault.go) and guards the
 	// bookkeeping only faults touch: kill/done channels, incarnation
@@ -210,13 +220,19 @@ func Start(cfg Config) (*Network, error) {
 	if cfg.Env == nil {
 		cfg.Env = &mole.Env{Scheme: cfg.Scheme, StolenKeys: map[packet.NodeID]mac.Key{}}
 	}
+	// epochs is the append-only topology history: epoch 0 is the base
+	// tree, every route repair appends the repaired snapshot
+	// (recomputeRoutesLocked). Packets are stamped with the epoch current
+	// at sink arrival and topology-restricted resolvers walk that epoch's
+	// tree — the stale-resolver fix.
+	epochs := topology.NewEpochSet(cfg.Topo)
 	// Every sink incarnation — serial loop, pipeline worker, post-crash
 	// restore — builds its own verifier chain through this factory; only
-	// the KeyStore and obs counters are shared.
+	// the KeyStore, the epoch set and obs counters are shared.
 	newVerifier := func() (sink.Verifier, error) {
 		var r sink.Resolver
 		if cfg.TopologyResolver {
-			r = sink.NewTopologyResolver(cfg.Keys, cfg.Topo)
+			r = sink.NewTopologyResolverEpochs(cfg.Keys, epochs)
 		} else {
 			r = sink.NewExhaustiveResolver(cfg.Keys, cfg.Topo.Nodes())
 		}
@@ -245,6 +261,7 @@ func Start(cfg Config) (*Network, error) {
 		injectRng:   rand.New(rand.NewSource(cfg.Seed ^ injectSeedSalt)),
 		deliveredCh: make(chan struct{}),
 		routes:      cfg.Topo,
+		epochs:      epochs,
 		nodeDown:    make(map[packet.NodeID]bool),
 		nodeKill:    make(map[packet.NodeID]chan struct{}),
 		nodeDone:    make(map[packet.NodeID]chan struct{}),
@@ -401,7 +418,7 @@ func (n *Network) runSink(kill, done chan struct{}) {
 				continue
 			}
 			n.mu.Lock()
-			n.tracker.Observe(tx.msg)
+			n.tracker.ObserveAt(tx.msg, tx.epoch)
 			n.delivered++
 			n.obsDelivered.Inc()
 			n.broadcastLocked()
@@ -418,6 +435,7 @@ func (n *Network) runSink(kill, done chan struct{}) {
 func (n *Network) runSinkPipelined(kill chan struct{}) {
 	defer n.pipe.Close()
 	batch := make([]packet.Message, 0, n.cfg.QueueLen)
+	epochs := make([]topology.EpochVersion, 0, n.cfg.QueueLen)
 	for {
 		select {
 		case <-n.stop:
@@ -426,10 +444,12 @@ func (n *Network) runSinkPipelined(kill chan struct{}) {
 			return
 		case tx := <-n.sinkCh:
 			batch = batch[:0]
+			epochs = epochs[:0]
 			// The sink also refuses traffic handed over by a quarantined
 			// neighbor; refusals never reach the pipeline.
 			if n.cfg.Blacklisted == nil || !n.cfg.Blacklisted(tx.from) {
 				batch = append(batch, tx.msg)
+				epochs = append(epochs, tx.epoch)
 			} else {
 				n.noteDrop(n.obsBlacklistRefused)
 			}
@@ -439,6 +459,7 @@ func (n *Network) runSinkPipelined(kill chan struct{}) {
 				case tx = <-n.sinkCh:
 					if n.cfg.Blacklisted == nil || !n.cfg.Blacklisted(tx.from) {
 						batch = append(batch, tx.msg)
+						epochs = append(epochs, tx.epoch)
 					} else {
 						n.noteDrop(n.obsBlacklistRefused)
 					}
@@ -450,7 +471,7 @@ func (n *Network) runSinkPipelined(kill chan struct{}) {
 				continue
 			}
 			n.mu.Lock()
-			n.pipe.Observe(batch)
+			n.pipe.ObserveEpochs(batch, epochs)
 			n.delivered += len(batch)
 			n.obsDelivered.Add(uint64(len(batch)))
 			n.broadcastLocked()
@@ -468,6 +489,7 @@ func (n *Network) runSinkPipelined(kill chan struct{}) {
 // on sink kill the crash path owns the cluster's shutdown.
 func (n *Network) runSinkSharded(kill chan struct{}) {
 	batch := make([]packet.Message, 0, n.cfg.QueueLen)
+	epochs := make([]topology.EpochVersion, 0, n.cfg.QueueLen)
 	for {
 		select {
 		case <-n.stop:
@@ -483,10 +505,12 @@ func (n *Network) runSinkSharded(kill chan struct{}) {
 			return // crashSinkLocked checkpoints and releases the cluster
 		case tx := <-n.sinkCh:
 			batch = batch[:0]
+			epochs = epochs[:0]
 			// The sink also refuses traffic handed over by a quarantined
 			// neighbor; refusals never reach the shards.
 			if n.cfg.Blacklisted == nil || !n.cfg.Blacklisted(tx.from) {
 				batch = append(batch, tx.msg)
+				epochs = append(epochs, tx.epoch)
 			} else {
 				n.noteDrop(n.obsBlacklistRefused)
 			}
@@ -496,6 +520,7 @@ func (n *Network) runSinkSharded(kill chan struct{}) {
 				case tx = <-n.sinkCh:
 					if n.cfg.Blacklisted == nil || !n.cfg.Blacklisted(tx.from) {
 						batch = append(batch, tx.msg)
+						epochs = append(epochs, tx.epoch)
 					} else {
 						n.noteDrop(n.obsBlacklistRefused)
 					}
@@ -507,7 +532,7 @@ func (n *Network) runSinkSharded(kill chan struct{}) {
 				continue
 			}
 			n.mu.Lock()
-			_, shardDropped := n.cluster.Observe(batch)
+			_, shardDropped := n.cluster.ObserveEpochs(batch, epochs)
 			delivered := len(batch) - shardDropped
 			n.delivered += delivered
 			n.obsDelivered.Add(uint64(delivered))
@@ -601,6 +626,10 @@ func (n *Network) deliver(tx transmission, hop packet.NodeID, abort <-chan struc
 	}
 	var ch chan transmission
 	if hop == packet.SinkID {
+		// Stamp the topology epoch current at sink arrival: resolution
+		// must replay the routing tree the packet was forwarded under,
+		// and this hop is where "arrival" happens.
+		tx.epoch = n.epochs.Current().Version
 		ch = n.sinkCh
 	} else {
 		ch = n.inbox[hop]

@@ -25,6 +25,14 @@ func (b *bitset) set(i int) {
 	(*b)[i/64] |= 1 << (uint(i) % 64)
 }
 
+// clear unmarks bit i. Bits beyond the current capacity are already zero.
+func (b bitset) clear(i int) {
+	w := i / 64
+	if w < len(b) {
+		b[w] &^= 1 << (uint(i) % 64)
+	}
+}
+
 // has reports whether bit i is set.
 func (b bitset) has(i int) bool {
 	w := i / 64
@@ -49,6 +57,31 @@ func (b bitset) count() int {
 		n += bits.OnesCount64(w)
 	}
 	return n
+}
+
+// any reports whether any bit is set.
+func (b bitset) any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// appendBits appends every set bit index to dst in ascending order and
+// returns the grown slice. It is the closure-free twin of forEach for
+// noalloc hot paths: a func literal capturing the destination would be
+// flagged by escape analysis, a plain append is not.
+func (b bitset) appendBits(dst []int) []int {
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			dst = append(dst, wi*64+i)
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // forEach calls fn for every set bit index.

@@ -28,16 +28,19 @@ func (o *Order) Checkpoint() []byte {
 		binary.BigEndian.PutUint16(idb[:], uint16(id))
 		buf = append(buf, idb[:]...)
 	}
-	// Count and emit reachability pairs (the closure; restoring re-adds
-	// them as edges, which regenerates an identical closure).
+	// Count and emit the direct relations (restoring re-adds them as
+	// edges, which regenerates an identical closure — it is a pure
+	// function of the generating set). Earlier checkpoints emitted the
+	// full closure here; those blobs restore identically, just larger,
+	// since closure pairs also generate the closure.
 	pairs := 0
 	for i := range o.ids {
-		pairs += o.desc[i].count()
+		pairs += o.dir[i].count()
 	}
 	binary.BigEndian.PutUint32(tmp[:], uint32(pairs))
 	buf = append(buf, tmp[:]...)
 	for i := range o.ids {
-		o.desc[i].forEach(func(j int) {
+		o.dir[i].forEach(func(j int) {
 			var pair [4]byte
 			binary.BigEndian.PutUint16(pair[:2], uint16(o.ids[i]))
 			binary.BigEndian.PutUint16(pair[2:], uint16(o.ids[j]))

@@ -52,6 +52,7 @@ type Cluster struct {
 	// worker i or only by the caller, never concurrently — Do's barrier
 	// orders the handoff.
 	groups  [][]packet.Message
+	gEpochs [][]topology.EpochVersion
 	at      [][]int
 	perRes  [][]Result
 	dropped []int
@@ -118,6 +119,7 @@ func NewCluster(shards int, factory func() Verifier, topo *topology.Network, reg
 		topo:    topo,
 		reg:     reg,
 		groups:  make([][]packet.Message, shards),
+		gEpochs: make([][]topology.EpochVersion, shards),
 		at:      make([][]int, shards),
 		perRes:  make([][]Result, shards),
 		dropped: make([]int, shards),
@@ -158,17 +160,38 @@ func (c *Cluster) Shards() int { return c.shards }
 // stay zero), mirroring the transport sink's down semantics at shard
 // granularity.
 func (c *Cluster) Observe(batch []packet.Message) (results []Result, dropped int) {
+	return c.ObserveEpochs(batch, nil)
+}
+
+// ObserveEpochs is Observe for a batch whose packets arrived under known
+// topology epochs: epochs[i] names slot i's arrival epoch and rides along
+// through the shard partition, so each shard verifies its sub-batch
+// against the right routing trees. nil epochs verifies everything against
+// the base epoch, reproducing Observe exactly — the partition, the fold
+// order within each shard and the merged verdict are all unchanged by the
+// tagging, which is what keeps shard-merge determinism intact under
+// churn.
+func (c *Cluster) ObserveEpochs(batch []packet.Message, epochs []topology.EpochVersion) (results []Result, dropped int) {
 	if len(batch) == 0 {
 		return nil, 0
+	}
+	if epochs != nil && len(epochs) != len(batch) {
+		panic("sink: cluster batch and epoch slices disagree")
 	}
 	touched := 0
 	for i := range c.groups {
 		c.groups[i] = c.groups[i][:0]
+		c.gEpochs[i] = c.gEpochs[i][:0]
 		c.at[i] = c.at[i][:0]
 	}
 	for pos, msg := range batch {
 		i := ShardOf(msg.Report, c.shards)
 		c.groups[i] = append(c.groups[i], msg)
+		var e topology.EpochVersion
+		if epochs != nil {
+			e = epochs[pos]
+		}
+		c.gEpochs[i] = append(c.gEpochs[i], e)
 		c.at[i] = append(c.at[i], pos)
 	}
 	for i := range c.groups {
@@ -196,7 +219,7 @@ func (c *Cluster) Observe(batch []packet.Message) (results []Result, dropped int
 		sh.tracker.ResetVerifyScratch()
 		res := c.perRes[i][:len(c.groups[i])]
 		for j, msg := range c.groups[i] {
-			res[j] = sh.tracker.ObserveKeep(msg)
+			res[j] = sh.tracker.ObserveKeepAt(msg, c.gEpochs[i][j])
 		}
 	})
 	if cap(c.scratch) < len(batch) {

@@ -6,6 +6,7 @@ import (
 
 	"pnm/internal/marking"
 	"pnm/internal/packet"
+	"pnm/internal/topology"
 )
 
 // stubResolver streams a fixed candidate list regardless of the query,
@@ -16,7 +17,7 @@ type stubResolver struct {
 }
 
 // Resolve implements Resolver.
-func (s *stubResolver) Resolve(_ packet.Report, _ [packet.AnonIDLen]byte, _ packet.NodeID, _ bool, yield func(packet.NodeID) bool) {
+func (s *stubResolver) Resolve(_ packet.Report, _ [packet.AnonIDLen]byte, _ packet.NodeID, _ bool, _ topology.EpochVersion, yield func(packet.NodeID) bool) {
 	s.calls++
 	for _, id := range s.candidates {
 		if yield(id) {

@@ -16,6 +16,19 @@ type Order struct {
 	ids  []packet.NodeID
 	desc []bitset // desc[i]: nodes strictly downstream of i (closure)
 	anc  []bitset // anc[i]: nodes strictly upstream of i (closure)
+	// dir[i] holds the directly observed relations (consecutive chain
+	// pairs), a subset of desc[i]. The closure is a pure function of the
+	// direct relation set, so Merge and Checkpoint replay dir instead of
+	// the O(n²) closure — the incremental-order lever from *On Algebraic
+	// Traceback in Dynamic Networks*.
+	dir []bitset
+	// cyc marks the nodes currently on some mutual-reachability loop.
+	// It is maintained at edge insertion, so HasCycle/Loops no longer
+	// rescan all n² reachability pairs per verdict read.
+	cyc bitset
+	// ups/downs are addEdge's scratch lists, reused across calls so a
+	// steady-state insertion allocates nothing.
+	ups, downs []int
 }
 
 // NewOrder returns an empty order matrix.
@@ -33,6 +46,7 @@ func (o *Order) index(id packet.NodeID) int {
 	o.ids = append(o.ids, id)
 	o.desc = append(o.desc, newBitset(len(o.ids)))
 	o.anc = append(o.anc, newBitset(len(o.ids)))
+	o.dir = append(o.dir, newBitset(len(o.ids)))
 	return i
 }
 
@@ -49,28 +63,58 @@ func (o *Order) AddChain(chain []packet.NodeID) {
 }
 
 // addEdge inserts u -> v and updates the closure: every ancestor of u
-// (plus u) now reaches every descendant of v (plus v).
+// (plus u) now reaches every descendant of v (plus v). The expansion is
+// one bitset OR per affected row instead of the old ancestor×descendant
+// bit-by-bit double loop: rows that already reach v are complete by the
+// closure invariant and are skipped, the rest absorb desc[v] wholesale.
+// The diagonal stays clear (self-loops are implicit; cycles show as
+// mutual reachability), and the scratch lists are reused across calls.
+//
+// pnmlint:noalloc
 func (o *Order) addEdge(u, v int) {
-	if u == v || o.desc[u].has(v) {
+	if u == v {
 		return
 	}
-	var ups []int
-	o.anc[u].forEach(func(i int) { ups = append(ups, i) })
+	// Record the direct relation before the redundancy check: dir must
+	// generate the closure even when u -> v arrives after being implied
+	// transitively, or a Merge/Checkpoint replay would lose it.
+	o.dir[u].set(v)
+	if o.desc[u].has(v) {
+		return
+	}
+	ups := o.anc[u].appendBits(o.ups[:0])
 	ups = append(ups, u)
-
-	var downs []int
-	o.desc[v].forEach(func(i int) { downs = append(downs, i) })
+	downs := o.desc[v].appendBits(o.downs[:0])
 	downs = append(downs, v)
 
-	for _, a := range ups {
-		for _, b := range downs {
-			if a == b {
-				continue // self-loops stay implicit; cycles show as mutual reachability
+	// The edge closes a loop iff v already reached u. The nodes that
+	// become mutually reachable are exactly those on a path through the
+	// new edge: (anc*(u) ∪ {u}) ∩ (desc*(v) ∪ {v}), evaluated before the
+	// closure is mutated.
+	if o.desc[v].has(u) {
+		for _, a := range ups {
+			if a == v || o.desc[v].has(a) {
+				o.cyc.set(a)
 			}
-			o.desc[a].set(b)
-			o.anc[b].set(a)
 		}
 	}
+	for _, a := range ups {
+		if o.desc[a].has(v) {
+			continue
+		}
+		o.desc[a].or(o.desc[v])
+		o.desc[a].set(v)
+		o.desc[a].clear(a)
+	}
+	for _, b := range downs {
+		if o.anc[b].has(u) {
+			continue
+		}
+		o.anc[b].or(o.anc[u])
+		o.anc[b].set(u)
+		o.anc[b].clear(b)
+	}
+	o.ups, o.downs = ups, downs
 }
 
 // SeenCount returns how many distinct marker identities were collected —
@@ -135,43 +179,35 @@ func (o *Order) TotallyOrdered() bool {
 }
 
 // HasCycle reports whether any mutual reachability exists — the signature
-// of the identity-swapping attack.
+// of the identity-swapping attack. The loop membership set is maintained
+// at edge insertion, so this is an O(n/64) word scan instead of a rescan
+// of all n² reachability pairs.
 func (o *Order) HasCycle() bool {
-	for i := range o.ids {
-		cyclic := false
-		o.desc[i].forEach(func(j int) {
-			if o.desc[j].has(i) {
-				cyclic = true
-			}
-		})
-		if cyclic {
-			return true
-		}
-	}
-	return false
+	return o.cyc.any()
 }
 
 // Loops returns the sets of mutually-reachable nodes (each a loop created
-// by identity swapping), sorted by their smallest member.
+// by identity swapping), sorted by their smallest member. Only the
+// incrementally maintained loop members are grouped; the loop-free common
+// case returns nil without touching the closure at all.
 func (o *Order) Loops() [][]packet.NodeID {
-	n := len(o.ids)
-	visited := make([]bool, n)
+	if !o.cyc.any() {
+		return nil
+	}
+	visited := make([]bool, len(o.ids))
 	var loops [][]packet.NodeID
-	for i := 0; i < n; i++ {
-		if visited[i] {
+	for i := 0; i < len(o.ids); i++ {
+		if !o.cyc.has(i) || visited[i] {
 			continue
 		}
 		var members []packet.NodeID
 		o.desc[i].forEach(func(j int) {
-			if o.desc[j].has(i) {
-				if !visited[j] {
-					visited[j] = true
-					members = append(members, o.ids[j])
-				}
+			if o.desc[j].has(i) && !visited[j] {
+				visited[j] = true
+				members = append(members, o.ids[j])
 			}
 		})
 		if len(members) > 0 {
-			// i itself is in the loop iff it reaches itself through a peer.
 			if !visited[i] {
 				visited[i] = true
 				members = append(members, o.ids[i])
@@ -243,18 +279,21 @@ func (o *Order) MostUpstreamAfterLoop(loop []packet.NodeID) (packet.NodeID, bool
 }
 
 // Merge folds other's accumulated relation into o: every identity other
-// has seen is registered and every reachability pair is re-added as an
+// has seen is registered and every direct relation is re-added as an
 // edge, so o's closure becomes the closure of the union of both relations.
-// Transitive closure is a pure function of the underlying relation set, so
-// merging k orders yields the same relation in any merge sequence — the
-// determinism a sharded sink's cross-shard verdict rests on.
+// Replaying the direct set — not the O(n²) closure pairs — is sound
+// because the transitive closure is a pure function of the generating
+// relation, and it is what keeps a k-shard merge proportional to the
+// evidence actually observed. Merging in any sequence yields the same
+// relation — the determinism a sharded sink's cross-shard verdict rests
+// on.
 func (o *Order) Merge(other *Order) {
 	for _, id := range other.ids {
 		o.index(id)
 	}
 	for i := range other.ids {
 		ui := o.idx[other.ids[i]]
-		other.desc[i].forEach(func(j int) {
+		other.dir[i].forEach(func(j int) {
 			o.addEdge(ui, o.idx[other.ids[j]])
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"pnm/internal/obs"
 	"pnm/internal/packet"
 	"pnm/internal/parallel"
+	"pnm/internal/topology"
 )
 
 // Pipeline verifies batches of received messages across a pool of workers
@@ -41,9 +42,12 @@ type Pipeline struct {
 	// closure per batch. Pool.Do's hand-off orders these writes before
 	// the workers read them.
 	curBatch []packet.Message
-	results  []Result
-	round    uint64
-	workFn   func(*pipeWorker, int)
+	// curEpochs carries each slot's arrival epoch for the round; nil when
+	// the whole batch verifies against the base epoch.
+	curEpochs []topology.EpochVersion
+	results   []Result
+	round     uint64
+	workFn    func(*pipeWorker, int)
 
 	// obs bindings; nil (no-op) unless Instrument was called.
 	batches   *obs.Counter
@@ -56,6 +60,7 @@ type Pipeline struct {
 type pipeWorker struct {
 	v     Verifier
 	rs    VerifyScratch
+	ev    EpochVerifier // nil when the verifier is epoch-independent
 	round uint64
 }
 
@@ -69,6 +74,7 @@ func NewPipeline(workers int, factory func() Verifier, tracker *Tracker) *Pipeli
 	p.pool = parallel.NewPool(workers, func() *pipeWorker {
 		w := &pipeWorker{v: factory()}
 		w.rs, _ = w.v.(VerifyScratch)
+		w.ev, _ = w.v.(EpochVerifier)
 		return w
 	})
 	return p
@@ -85,6 +91,10 @@ func (p *Pipeline) work(w *pipeWorker, i int) {
 		if w.rs != nil {
 			w.rs.ResetVerifyScratch()
 		}
+	}
+	if p.curEpochs != nil && w.ev != nil {
+		p.results[i] = w.ev.VerifyAt(p.curBatch[i], p.curEpochs[i])
+		return
 	}
 	p.results[i] = w.v.Verify(p.curBatch[i])
 }
@@ -107,13 +117,25 @@ func (p *Pipeline) Instrument(reg *obs.Registry) {
 // into the tracker in batch order. The returned slice is the pipeline's
 // scratch space: read it before the next Observe call.
 func (p *Pipeline) Observe(batch []packet.Message) []Result {
+	return p.ObserveEpochs(batch, nil)
+}
+
+// ObserveEpochs is Observe for a batch whose packets arrived under known
+// topology epochs: epochs[i] names slot i's arrival epoch. nil epochs (or
+// an epoch-independent verifier) verifies the whole batch against the
+// base epoch, reproducing Observe exactly.
+func (p *Pipeline) ObserveEpochs(batch []packet.Message, epochs []topology.EpochVersion) []Result {
 	if len(batch) == 0 {
 		return nil
+	}
+	if epochs != nil && len(epochs) != len(batch) {
+		panic("sink: pipeline batch and epoch slices disagree")
 	}
 	if cap(p.scratch) < len(batch) {
 		p.scratch = make([]Result, len(batch))
 	}
 	p.curBatch = batch
+	p.curEpochs = epochs
 	p.results = p.scratch[:len(batch)]
 	p.round++
 	used := p.pool.Do(len(batch), p.workFn)
@@ -123,6 +145,7 @@ func (p *Pipeline) Observe(batch []packet.Message) []Result {
 		p.tracker.Fold(p.results[i])
 	}
 	p.curBatch = nil
+	p.curEpochs = nil
 	return p.results
 }
 

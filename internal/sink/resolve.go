@@ -23,15 +23,19 @@ type Resolver interface {
 	// returns true (the caller accepted the candidate). prev is the
 	// already-verified node one mark downstream (the hint the paper's §7
 	// O(d) optimization uses); havePrev is false for the last mark in a
-	// packet.
-	Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool, yield func(packet.NodeID) bool)
+	// packet. epoch names the topology snapshot current when the packet
+	// arrived at the sink (topology.EpochSet versions; 0 is the base
+	// topology): a topology-restricted search must walk the tree the
+	// packet was forwarded under, not the tree the sink started with.
+	// Resolvers whose candidate space is topology-independent ignore it.
+	Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool, epoch topology.EpochVersion, yield func(packet.NodeID) bool)
 }
 
 // ResolveAll drains a resolver's full candidate stream into a slice —
 // convenience for tests and tools; the verifier hot path streams instead.
-func ResolveAll(r Resolver, report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool) []packet.NodeID {
+func ResolveAll(r Resolver, report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool, epoch topology.EpochVersion) []packet.NodeID {
 	var out []packet.NodeID
-	r.Resolve(report, anon, prev, havePrev, func(id packet.NodeID) bool {
+	r.Resolve(report, anon, prev, havePrev, epoch, func(id packet.NodeID) bool {
 		out = append(out, id)
 		return false
 	})
@@ -114,8 +118,10 @@ func (r *ExhaustiveResolver) Instrument(reg *obs.Registry) {
 }
 
 // Resolve implements Resolver. The prev hint is ignored: the table already
-// narrows candidates to exact anonymous-ID matches.
-func (r *ExhaustiveResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, _ packet.NodeID, _ bool, yield func(packet.NodeID) bool) {
+// narrows candidates to exact anonymous-ID matches. The epoch is ignored
+// too — the exhaustive method hashes the whole node universe, which no
+// amount of route churn changes, so it is epoch-proof by construction.
+func (r *ExhaustiveResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, _ packet.NodeID, _ bool, _ topology.EpochVersion, yield func(packet.NodeID) bool) {
 	for _, id := range r.lookup(report)[anon] {
 		r.candidates.Inc()
 		if yield(id) {
@@ -198,11 +204,17 @@ func (r *ExhaustiveResolver) buildTable(report packet.Report) map[[packet.AnonID
 // ownership analyzer enforces this.
 type TopologyResolver struct {
 	keys   *mac.KeyStore
-	topo   *topology.Network
+	epochs *topology.EpochSet
 	hasher *mac.Hasher
 	anonID anonIDFunc // test seam; nil selects the schedule-backed engine
-	// children is the routing tree's downlink adjacency, built once.
-	children map[packet.NodeID][]packet.NodeID
+	// children is the downlink adjacency of the epoch named by
+	// curVersion; trees holds one adjacency per epoch seen so far, built
+	// lazily and cached forever (epochs are immutable, and their count is
+	// bounded by the churn events of a run). Epoch 0 is prebuilt, so a
+	// static network never touches the cache.
+	children   map[packet.NodeID][]packet.NodeID
+	curVersion topology.EpochVersion
+	trees      map[topology.EpochVersion]map[packet.NodeID][]packet.NodeID
 	// frontier/next are the BFS level buffers, reused across Resolve
 	// calls so a steady-state resolution allocates nothing. Safe only
 	// because the type is single-goroutine (see above).
@@ -215,13 +227,47 @@ type TopologyResolver struct {
 }
 
 // NewTopologyResolver returns a resolver that exploits the known topology.
+// The network is treated as the base (and only) epoch; every packet
+// resolves against it, which is exactly the pre-epoch behavior for static
+// deployments.
 func NewTopologyResolver(keys *mac.KeyStore, topo *topology.Network) *TopologyResolver {
-	children := make(map[packet.NodeID][]packet.NodeID, topo.NumNodes())
-	for _, id := range topo.Nodes() {
-		parent := topo.Parent(id)
+	return NewTopologyResolverEpochs(keys, topology.NewEpochSet(topo))
+}
+
+// NewTopologyResolverEpochs returns a resolver over a dynamic topology:
+// each Resolve walks the snapshot named by the packet's arrival epoch.
+// The set may keep growing (the fault machinery appends on every route
+// repair) while resolvers read it from their own goroutines.
+func NewTopologyResolverEpochs(keys *mac.KeyStore, epochs *topology.EpochSet) *TopologyResolver {
+	r := &TopologyResolver{
+		keys:   keys,
+		epochs: epochs,
+		hasher: keys.Hasher(),
+		trees:  make(map[topology.EpochVersion]map[packet.NodeID][]packet.NodeID),
+	}
+	r.children = r.treeFor(0)
+	return r
+}
+
+// treeFor returns the downlink adjacency of epoch v, building and caching
+// it on first use. Orphaned nodes (depth -1 after a partition-causing
+// fault) are excluded: they have no forwarding parent in that epoch, so
+// no mark can originate downstream of them.
+func (r *TopologyResolver) treeFor(v topology.EpochVersion) map[packet.NodeID][]packet.NodeID {
+	if ch, ok := r.trees[v]; ok {
+		return ch
+	}
+	net := r.epochs.At(v)
+	children := make(map[packet.NodeID][]packet.NodeID, net.NumNodes())
+	for _, id := range net.Nodes() {
+		if !net.HasRoute(id) {
+			continue
+		}
+		parent := net.Parent(id)
 		children[parent] = append(children[parent], id)
 	}
-	return &TopologyResolver{keys: keys, topo: topo, hasher: keys.Hasher(), children: children}
+	r.trees[v] = children
+	return children
 }
 
 // Instrument binds the resolver's counters into reg.
@@ -232,7 +278,14 @@ func (r *TopologyResolver) Instrument(reg *obs.Registry) {
 }
 
 // Resolve implements Resolver.
-func (r *TopologyResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool, yield func(packet.NodeID) bool) {
+func (r *TopologyResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool, epoch topology.EpochVersion, yield func(packet.NodeID) bool) {
+	if epoch != r.curVersion {
+		// Swap in the routing tree of the packet's arrival epoch. Sink
+		// batches arrive roughly in epoch order, so this is a cached-map
+		// hit on all but the first packet after a topology change.
+		r.children = r.treeFor(epoch)
+		r.curVersion = epoch
+	}
 	start := prev
 	if !havePrev {
 		// The most downstream mark: search the whole routing tree outward

@@ -314,7 +314,7 @@ func TestTopologyResolverStreamsAcrossDepths(t *testing.T) {
 	rep := testReport(110)
 	anon := mac.AnonID(testKS.Key(5), rep, 5)
 
-	got := ResolveAll(r, rep, anon, 0, false)
+	got := ResolveAll(r, rep, anon, 0, false, 0)
 	want := []packet.NodeID{2, 5}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("candidate stream = %v, want %v", got, want)
@@ -322,7 +322,7 @@ func TestTopologyResolverStreamsAcrossDepths(t *testing.T) {
 
 	// Early acceptance stops the stream — the §7 O(d) fast path.
 	var first []packet.NodeID
-	r.Resolve(rep, anon, 0, false, func(id packet.NodeID) bool {
+	r.Resolve(rep, anon, 0, false, 0, func(id packet.NodeID) bool {
 		first = append(first, id)
 		return true
 	})
@@ -366,9 +366,9 @@ type firstDepthResolver struct {
 }
 
 // Resolve implements Resolver with the pre-fix early cut.
-func (r *firstDepthResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool, yield func(packet.NodeID) bool) {
+func (r *firstDepthResolver) Resolve(report packet.Report, anon [packet.AnonIDLen]byte, prev packet.NodeID, havePrev bool, epoch topology.EpochVersion, yield func(packet.NodeID) bool) {
 	matchDepth := -1
-	r.inner.Resolve(report, anon, prev, havePrev, func(id packet.NodeID) bool {
+	r.inner.Resolve(report, anon, prev, havePrev, epoch, func(id packet.NodeID) bool {
 		d := r.topo.Depth(id)
 		if matchDepth == -1 {
 			matchDepth = d
@@ -402,8 +402,8 @@ func TestResolverEquivalenceExhaustsBothOrders(t *testing.T) {
 	rep := testReport(130)
 	for _, id := range topo.Nodes() {
 		anon := trunc(testKS.Key(id), rep, id)
-		a := ResolveAll(exh, rep, anon, 0, false)
-		b := ResolveAll(topoR, rep, anon, 0, false)
+		a := ResolveAll(exh, rep, anon, 0, false, 0)
+		b := ResolveAll(topoR, rep, anon, 0, false, 0)
 		if !sameMembers(a, b) {
 			t.Fatalf("candidate sets differ for %v: exhaustive %v, topology %v", id, a, b)
 		}

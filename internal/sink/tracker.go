@@ -83,8 +83,15 @@ func (t *Tracker) Instrument(reg *obs.Registry) {
 // recycled per packet here — callers that need a whole batch's Results
 // alive together use ObserveKeep with a per-round reset, like Cluster).
 func (t *Tracker) Observe(msg packet.Message) Result {
+	return t.ObserveAt(msg, 0)
+}
+
+// ObserveAt is Observe for a packet that arrived under a known topology
+// epoch: verification resolves marks against that epoch's routing tree.
+// Epoch 0 (the base topology) reproduces Observe exactly.
+func (t *Tracker) ObserveAt(msg packet.Message, epoch topology.EpochVersion) Result {
 	t.ResetVerifyScratch()
-	return t.ObserveKeep(msg)
+	return t.ObserveKeepAt(msg, epoch)
 }
 
 // ObserveKeep verifies and folds one packet without recycling the
@@ -92,7 +99,13 @@ func (t *Tracker) Observe(msg packet.Message) Result {
 // round valid together; the caller owns the reset cadence and calls
 // ResetVerifyScratch at batch boundaries.
 func (t *Tracker) ObserveKeep(msg packet.Message) Result {
-	res := t.verifier.Verify(msg)
+	return t.ObserveKeepAt(msg, 0)
+}
+
+// ObserveKeepAt is ObserveKeep against the routing tree of the packet's
+// arrival epoch.
+func (t *Tracker) ObserveKeepAt(msg packet.Message, epoch topology.EpochVersion) Result {
+	res := VerifyAtEpoch(t.verifier, msg, epoch)
 	t.Fold(res)
 	return res
 }

@@ -7,6 +7,7 @@ import (
 	"pnm/internal/marking"
 	"pnm/internal/obs"
 	"pnm/internal/packet"
+	"pnm/internal/topology"
 )
 
 // Result is the outcome of verifying one packet's marks.
@@ -26,8 +27,30 @@ type Result struct {
 type Verifier interface {
 	// Name identifies the verifier.
 	Name() string
-	// Verify checks msg's marks per the deployed scheme's rules.
+	// Verify checks msg's marks per the deployed scheme's rules, against
+	// the base topology epoch.
 	Verify(msg packet.Message) Result
+}
+
+// EpochVerifier is implemented by verifiers whose mark resolution depends
+// on the routing tree current when a packet arrived (anonymous nested
+// marks under a topology-restricted resolver). VerifyAt(msg, 0) is
+// exactly Verify(msg).
+type EpochVerifier interface {
+	Verifier
+	// VerifyAt checks msg's marks against the topology snapshot named by
+	// epoch (a topology.EpochSet version stamped at packet arrival).
+	VerifyAt(msg packet.Message, epoch topology.EpochVersion) Result
+}
+
+// VerifyAtEpoch dispatches to VerifyAt when v is epoch-aware and falls
+// back to Verify otherwise — plaintext and face-value verifiers resolve
+// nothing against the topology, so every epoch yields the same result.
+func VerifyAtEpoch(v Verifier, msg packet.Message, epoch topology.EpochVersion) Result {
+	if ev, ok := v.(EpochVerifier); ok {
+		return ev.VerifyAt(msg, epoch)
+	}
+	return v.Verify(msg)
 }
 
 // Instrumentable is implemented by sink objects that can bind obs metrics.
@@ -122,6 +145,9 @@ type NestedVerifier struct {
 	rsFound   packet.NodeID
 	rsOK      bool
 	rsProbes  uint64
+	// curEpoch is the arrival epoch of the packet being verified, set by
+	// VerifyAt and handed to the resolver on every probe of that packet.
+	curEpoch topology.EpochVersion
 
 	// obs bindings; nil (no-op) unless Instrument was called.
 	packets       *obs.Counter
@@ -162,11 +188,22 @@ func (v *NestedVerifier) Instrument(reg *obs.Registry) {
 // arena, invalidating every Result returned since the previous reset.
 func (v *NestedVerifier) ResetVerifyScratch() { v.chains = v.chains[:0] }
 
-// Verify implements Verifier. The Result's Chain aliases the verifier's
-// arena: it stays valid until ResetVerifyScratch.
+// Verify implements Verifier: it checks msg against the base topology
+// epoch. The Result's Chain aliases the verifier's arena: it stays valid
+// until ResetVerifyScratch.
 // pnmlint:noalloc
 func (v *NestedVerifier) Verify(msg packet.Message) Result {
+	return v.VerifyAt(msg, 0)
+}
+
+// VerifyAt implements EpochVerifier: marks resolve against the routing
+// tree of the packet's arrival epoch, so honest chains survive route
+// churn between injection and verification. The Result's Chain aliases
+// the verifier's arena: it stays valid until ResetVerifyScratch.
+// pnmlint:noalloc
+func (v *NestedVerifier) VerifyAt(msg packet.Message, epoch topology.EpochVersion) Result {
 	v.packets.Inc()
+	v.curEpoch = epoch
 	if v.resolver != nil && v.resolveFn == nil {
 		// One-time method-value allocation, kept out of the noalloc
 		// kernels below.
@@ -207,7 +244,7 @@ func (v *NestedVerifier) verifyMark(msg packet.Message, k int, prev packet.NodeI
 		}
 		v.rsMsg, v.rsK = msg, k
 		v.rsFound, v.rsOK, v.rsProbes = 0, false, 0
-		v.resolver.Resolve(msg.Report, mk.AnonID, prev, havePrev, v.resolveFn)
+		v.resolver.Resolve(msg.Report, mk.AnonID, prev, havePrev, v.curEpoch, v.resolveFn)
 		v.probesPerMark.Observe(v.rsProbes)
 		return v.rsFound, v.rsOK
 	}

@@ -241,11 +241,11 @@ func TestResolversAgree(t *testing.T) {
 		prev := topo.Parent(id)
 		havePrev := prev != packet.SinkID
 
-		got := ResolveAll(exh, rep, anon, prev, havePrev)
+		got := ResolveAll(exh, rep, anon, prev, havePrev, 0)
 		if !contains(got, id) {
 			t.Fatalf("exhaustive resolver missed %v", id)
 		}
-		got = ResolveAll(topoRes, rep, anon, prev, havePrev)
+		got = ResolveAll(topoRes, rep, anon, prev, havePrev, 0)
 		if !contains(got, id) {
 			t.Fatalf("topology resolver missed %v (prev %v)", id, prev)
 		}
@@ -256,16 +256,16 @@ func TestExhaustiveResolverCachesPerReport(t *testing.T) {
 	r := NewExhaustiveResolver(testKS, nodeIDs(16))
 	rep := testReport(30)
 	anon := mac.AnonID(testKS.Key(5), rep, 5)
-	if got := ResolveAll(r, rep, anon, 0, false); !contains(got, 5) {
+	if got := ResolveAll(r, rep, anon, 0, false, 0); !contains(got, 5) {
 		t.Fatal("resolver missed node 5")
 	}
 	// A different report must get its own table.
 	rep2 := testReport(31)
 	anon2 := mac.AnonID(testKS.Key(5), rep2, 5)
-	if got := ResolveAll(r, rep2, anon2, 0, false); !contains(got, 5) {
+	if got := ResolveAll(r, rep2, anon2, 0, false, 0); !contains(got, 5) {
 		t.Fatal("resolver served a stale table")
 	}
-	if got := ResolveAll(r, rep2, anon, 0, false); contains(got, 5) && anon != anon2 {
+	if got := ResolveAll(r, rep2, anon, 0, false, 0); contains(got, 5) && anon != anon2 {
 		t.Fatal("old anonymous ID resolved under the new report")
 	}
 }
@@ -284,7 +284,7 @@ func TestExhaustiveResolverLRUEviction(t *testing.T) {
 	resolve := func(seq uint32) {
 		rep := testReport(seq)
 		anon := mac.AnonID(testKS.Key(3), rep, 3)
-		if got := ResolveAll(r, rep, anon, 0, false); !contains(got, 3) {
+		if got := ResolveAll(r, rep, anon, 0, false, 0); !contains(got, 3) {
 			t.Fatalf("resolver missed node 3 under report %d", seq)
 		}
 	}

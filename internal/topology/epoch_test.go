@@ -1,0 +1,58 @@
+package topology
+
+import "testing"
+
+func TestEpochSetVersionsAreDense(t *testing.T) {
+	base, err := NewChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewEpochSet(base)
+	if got := set.Current(); got.Version != 0 || got.Net != base {
+		t.Fatalf("base epoch = %+v, want version 0 over base", got.Version)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", set.Len())
+	}
+	nets := []*Network{base}
+	for i := 1; i <= 3; i++ {
+		next := base.Rewire(int64(i))
+		ep := set.Advance(next)
+		if int(ep.Version) != i {
+			t.Fatalf("Advance %d returned version %d", i, ep.Version)
+		}
+		nets = append(nets, next)
+	}
+	for v, want := range nets {
+		if got := set.At(EpochVersion(v)); got != want {
+			t.Fatalf("At(%d) returned wrong snapshot", v)
+		}
+	}
+	if got := set.Current(); got.Version != 3 || got.Net != nets[3] {
+		t.Fatalf("Current = version %d, want 3", got.Version)
+	}
+}
+
+func TestEpochSetAtClampsUnknownVersions(t *testing.T) {
+	base, err := NewChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewEpochSet(base)
+	next := set.Advance(base.Rewire(7)).Net
+	if got := set.At(99); got != next {
+		t.Fatal("At(future) should clamp to the current epoch")
+	}
+}
+
+func TestEpochSetAdvanceSameNetworkStillAdvances(t *testing.T) {
+	base, err := NewChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewEpochSet(base)
+	ep := set.Advance(base)
+	if ep.Version != 1 || set.Len() != 2 {
+		t.Fatalf("re-advancing the base net: version %d, len %d; want 1, 2", ep.Version, set.Len())
+	}
+}

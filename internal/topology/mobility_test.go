@@ -1,0 +1,87 @@
+package topology
+
+import "testing"
+
+func waypointCfg(seed int64) WaypointConfig {
+	return WaypointConfig{
+		Nodes:        40,
+		Side:         6,
+		RadioRange:   2,
+		MinSpeed:     0.1,
+		MaxSpeed:     0.5,
+		Pause:        1,
+		SinkAtCorner: true,
+		Seed:         seed,
+	}
+}
+
+func TestWaypointSnapshotsStayConnected(t *testing.T) {
+	w, err := NewWaypoint(waypointCfg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 20; step++ {
+		nw, err := w.Step()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for _, id := range nw.Nodes() {
+			if !nw.HasRoute(id) {
+				t.Fatalf("step %d: node %d has no route", step, id)
+			}
+		}
+		if nw.Position(0) != w.Network().Position(0) || nw.Position(0) != (Point{}) {
+			t.Fatalf("step %d: sink moved to %+v", step, nw.Position(0))
+		}
+	}
+}
+
+func TestWaypointIsDeterministic(t *testing.T) {
+	a, err := NewWaypoint(waypointCfg(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWaypoint(waypointCfg(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 10; step++ {
+		na, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range na.Nodes() {
+			if na.Position(id) != nb.Position(id) || na.Parent(id) != nb.Parent(id) || na.Depth(id) != nb.Depth(id) {
+				t.Fatalf("step %d: walkers with equal seeds diverged at node %d", step, id)
+			}
+		}
+	}
+}
+
+func TestWaypointActuallyChurns(t *testing.T) {
+	w, err := NewWaypoint(waypointCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := w.Network()
+	changedParent := false
+	for step := 0; step < 30 && !changedParent; step++ {
+		nw, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range nw.Nodes() {
+			if nw.Parent(id) != base.Parent(id) {
+				changedParent = true
+				break
+			}
+		}
+	}
+	if !changedParent {
+		t.Fatal("30 steps of waypoint motion never changed a routing parent")
+	}
+}

@@ -23,6 +23,14 @@ type Config struct {
 	NewVerifier func() sink.Verifier
 	// Topo, when non-nil, lets verdicts name one-hop neighborhoods.
 	Topo *topology.Network
+	// Epochs, when non-nil, is the live topology history of the network
+	// in front of the server: each ingested frame is stamped with the
+	// epoch current at enqueue and verified against that epoch's routing
+	// tree (the verifiers built by NewVerifier must share this set for
+	// the stamp to mean anything). nil keeps every frame on the base
+	// epoch — byte-identical to the pre-epoch server, which is what the
+	// loopback-equivalence tests pin.
+	Epochs *topology.EpochSet
 	// Workers > 1 verifies batches through a sink.Pipeline of that many
 	// workers; <= 1 keeps the serial sink loop. Verdicts are
 	// byte-identical either way.
@@ -120,6 +128,9 @@ type ChaosPlan struct {
 type item struct {
 	msg *packet.Message
 	at  int64 // UnixNano at enqueue
+	// epoch is the topology epoch current at enqueue (always 0 without
+	// Config.Epochs); verification resolves the frame against it.
+	epoch topology.EpochVersion
 }
 
 // counters are the server's obs bindings; every field is nil (no-op)
@@ -249,6 +260,9 @@ type Server struct {
 	delivered   int              // pnmlint:guarded-by mu
 	deliveredCh chan struct{}    // pnmlint:guarded-by mu
 	foldMsgs    []packet.Message // pnmlint:guarded-by mu
+	// foldEpochs mirrors foldMsgs slot for slot with each frame's arrival
+	// epoch when Config.Epochs is set.
+	foldEpochs []topology.EpochVersion // pnmlint:guarded-by mu
 
 	closeOnce sync.Once
 	drainOnce sync.Once
@@ -581,6 +595,11 @@ func (s *Server) udpLoop() {
 func (s *Server) enqueue(msg *packet.Message) bool {
 	//pnmlint:allow wallclock ingest latency observability, never reaches verdicts
 	it := item{msg: msg, at: time.Now().UnixNano()}
+	if s.cfg.Epochs != nil {
+		// Stamp the topology epoch current at enqueue — the transport
+		// twin of netsim's arrival stamp.
+		it.epoch = s.cfg.Epochs.Current().Version
+	}
 	select {
 	case s.ingest <- it:
 		return true
@@ -706,13 +725,15 @@ func (s *Server) fold(batch []item) {
 		// Observe has returned by then, so no worker reads a released
 		// message.
 		s.foldMsgs = s.foldMsgs[:0]
+		s.foldEpochs = s.foldEpochs[:0]
 		for i := range batch {
 			s.foldMsgs = append(s.foldMsgs, *batch[i].msg)
+			s.foldEpochs = append(s.foldEpochs, batch[i].epoch)
 		}
 	}
 	switch {
 	case s.cluster != nil:
-		_, dropped := s.cluster.Observe(s.foldMsgs)
+		_, dropped := s.cluster.ObserveEpochs(s.foldMsgs, s.foldEpochs)
 		if dropped > 0 {
 			// A crashed shard's share of the batch: the sink is up, the
 			// failure domain is one shard wide.
@@ -720,10 +741,10 @@ func (s *Server) fold(batch []item) {
 			delivered -= dropped
 		}
 	case s.pipe != nil:
-		s.pipe.Observe(s.foldMsgs)
+		s.pipe.ObserveEpochs(s.foldMsgs, s.foldEpochs)
 	default:
 		for i := range batch {
-			s.tracker.Observe(*batch[i].msg)
+			s.tracker.ObserveAt(*batch[i].msg, batch[i].epoch)
 		}
 	}
 	//pnmlint:allow wallclock ingest latency observability, never reaches verdicts
